@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation (ours): sensitivity of the transformation's benefit to the
+ * L1 hit latency. The paper attributes the speedups to the 2-3 cycle
+ * L1 *hit* latency around hard branches; if that is the mechanism,
+ * the hmmsearch speedup must grow with the modeled hit latency and
+ * shrink toward the pure-cmov benefit at one cycle. Also explains
+ * the Pentium 4 column of Figure 9 (2-cycle L1).
+ */
+#include <cstdio>
+
+#include "apps/app.h"
+#include "core/simulator.h"
+#include "cpu/platforms.h"
+#include "util/table.h"
+
+using namespace bioperf;
+
+int
+main()
+{
+    std::printf("=== Ablation: hmmsearch speedup vs L1 hit latency "
+                "(Alpha 21264 core otherwise) ===\n\n");
+    util::TextTable t({ "L1 hit latency (cycles)", "baseline cycles",
+                        "transformed cycles", "speedup" });
+    const auto &app = *apps::findApp("hmmsearch");
+    for (uint32_t lat = 1; lat <= 5; lat++) {
+        cpu::PlatformConfig p = cpu::alpha21264();
+        p.latencies.l1HitLatency = lat;
+        core::TimingResult tb, tx;
+        const double sp = core::Simulator::speedup(
+            app, p, apps::Scale::Small, 42, &tb, &tx);
+        if (!tb.verified || !tx.verified) {
+            std::printf("VERIFICATION FAILED\n");
+            return 1;
+        }
+        t.row()
+            .cell(static_cast<uint64_t>(lat))
+            .cell(tb.cycles)
+            .cell(tx.cycles)
+            .cellPercent(100.0 * (sp - 1.0), 1);
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("expected shape: monotone growth with the hit "
+                "latency; the residual speedup at 1 cycle is the "
+                "branch-elimination (cmov) share.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (ours): how branch prediction quality modulates the
+ * transformation's benefit. With a perfect predictor the baseline's
+ * load-to-branch chains stop mattering (no exposure after squash),
+ * so the speedup collapses to the scheduling/cmov share; with weak
+ * predictors the baseline bleeds and the transformation shines —
+ * the other axis of the paper's Section 2.2 mechanism.
+ */
+#include <cstdio>
+
+#include "apps/app.h"
+#include "core/simulator.h"
+#include "cpu/platforms.h"
+#include "util/table.h"
+
+using namespace bioperf;
+
+int
+main()
+{
+    std::printf("=== Ablation: hmmsearch speedup vs branch predictor "
+                "(Alpha 21264 core) ===\n\n");
+    util::TextTable t({ "predictor", "baseline IPC",
+                        "baseline mispredicts", "speedup" });
+    const auto &app = *apps::findApp("hmmsearch");
+    for (const char *pred : { "static", "bimodal", "gshare", "local",
+                              "hybrid", "perfect" }) {
+        cpu::PlatformConfig p = cpu::alpha21264();
+        p.predictor = pred;
+        core::TimingResult tb, tx;
+        const double sp = core::Simulator::speedup(
+            app, p, apps::Scale::Small, 42, &tb, &tx);
+        if (!tb.verified || !tx.verified) {
+            std::printf("VERIFICATION FAILED\n");
+            return 1;
+        }
+        t.row()
+            .cell(pred)
+            .cell(tb.ipc, 2)
+            .cell(tb.mispredicts)
+            .cellPercent(100.0 * (sp - 1.0), 1);
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("expected shape: the benefit shrinks as prediction "
+                "improves, and with a *perfect* predictor the "
+                "transformation turns into a small loss (its extra "
+                "temporaries cost instructions while the baseline's "
+                "branches become free) — i.e., the speedup exists "
+                "exactly because the guarding branches mispredict, "
+                "the paper's Section 2.2 premise. Table 4's rates "
+                "correspond to the hybrid row.\n");
+    return 0;
+}

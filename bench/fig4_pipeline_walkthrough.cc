@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Regenerates the Figures 3/4 walkthrough: cycle-level pipeline
+ * behaviour of the hmmsearch P7Viterbi code around a mispredicted
+ * branch, on a 2-wide out-of-order core with a 3-cycle L1 hit
+ * latency (the paper's Section 2.2 example configuration).
+ *
+ * The baseline window shows the two effects the paper describes:
+ * the branch's resolution (complete column) waits on loads, so the
+ * fetch restart lands late; and the first loads after the restart
+ * have an empty window, exposing their full hit latency to their
+ * consumers. The transformed window shows conditional moves instead
+ * of branches and overlapping loads.
+ */
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "apps/app.h"
+#include "cpu/ooo_core.h"
+#include "ir/printer.h"
+#include "vm/interpreter.h"
+
+using namespace bioperf;
+
+namespace {
+
+struct Rec
+{
+    std::string text;
+    cpu::PipelineTimes t;
+    uint64_t seq;
+};
+
+void
+walkthrough(apps::Variant variant, const char *title)
+{
+    apps::AppRun run = apps::findApp("hmmsearch")
+                           ->make(variant, apps::Scale::Small, 5);
+
+    mem::CacheHierarchy caches(
+        mem::CacheConfig{ "L1D", 64 * 1024, 2, 64, true, true },
+        mem::CacheConfig{ "L2", 4 * 1024 * 1024, 1, 64, true, true },
+        mem::LatencyConfig{ 3, 5, 72 });
+    auto pred = branch::makePredictor("hybrid");
+    cpu::CoreConfig cfg;
+    cfg.fetchWidth = 2; // the paper's dual-issue assumption
+    cfg.issueWidth = 2;
+    cfg.retireWidth = 2;
+    cfg.windowSize = 64;
+    cfg.mispredictPenalty = 7;
+    cpu::OooCore core(cfg, &caches, pred.get());
+
+    // Keep a sliding window of recent instructions; freeze it a few
+    // instructions after the first misprediction past warm-up.
+    std::deque<Rec> window;
+    std::vector<Rec> frozen;
+    int64_t countdown = -1;
+    const ir::Program *prog = run.prog.get();
+    core.setTraceLog([&](const vm::DynInstr &di,
+                         const cpu::PipelineTimes &t) {
+        if (!frozen.empty())
+            return;
+        window.push_back({ ir::toString(*prog, *di.instr), t, di.seq });
+        if (window.size() > 26)
+            window.pop_front();
+        if (countdown < 0 && di.seq > 2000 && t.mispredicted)
+            countdown = 12; // capture a dozen post-redirect instrs
+        else if (countdown > 0 && --countdown == 0)
+            frozen.assign(window.begin(), window.end());
+    });
+
+    vm::Interpreter interp(*run.prog);
+    interp.addSink(&core);
+    run.driver(interp);
+
+    std::printf("--- %s ---\n", title);
+    std::printf("%-5s %-10s %-8s %-8s %-8s %s\n", "seq", "dispatch",
+                "issue", "complete", "retire", "instruction");
+    for (const auto &r : frozen) {
+        std::printf("%-5llu %-10llu %-8llu %-8llu %-8llu %s%s\n",
+                    static_cast<unsigned long long>(r.seq),
+                    static_cast<unsigned long long>(r.t.dispatch),
+                    static_cast<unsigned long long>(r.t.issue),
+                    static_cast<unsigned long long>(r.t.complete),
+                    static_cast<unsigned long long>(r.t.retire),
+                    r.text.c_str(),
+                    r.t.mispredicted ? "    <== MISPREDICTED" : "");
+    }
+    if (frozen.empty())
+        std::printf("(no misprediction captured)\n");
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figures 3/4: pipeline walkthrough of the "
+                "hmmsearch inner loop (2-wide, 3-cycle L1) ===\n\n");
+    walkthrough(apps::Variant::Baseline,
+                "baseline (Figure 6(a) code): load-to-branch chains");
+    walkthrough(apps::Variant::Transformed,
+                "transformed (Figure 6(c) code): grouped loads + "
+                "conditional moves");
+    std::printf("reading guide: on the baseline, the mispredicted "
+                "branch completes only after its feeding loads (the "
+                "L1 hit latency delays resolution), and the next "
+                "instructions' dispatch jumps by completion + 7; "
+                "the transformed stream shows select (cmov) chains "
+                "and no nearby mispredictions.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Regenerates the code-level Figures 5-8: machine-code listings of
+ * the kernels before and after the source-level load scheduling
+ * (Figures 6 and 7 for hmmsearch, Figure 8 for predator), plus the
+ * Figure 5 demonstration that the automatic hoisting pass is blocked
+ * by intervening stores under conservative disambiguation and
+ * succeeds with programmer region knowledge.
+ */
+#include <cstdio>
+
+#include "apps/app.h"
+#include "ir/printer.h"
+#include "opt/load_hoist.h"
+#include "opt/pass.h"
+
+using namespace bioperf;
+
+namespace {
+
+size_t
+countClass(const ir::Function &fn, ir::InstrClass c)
+{
+    return fn.numInstrsOfClass(c);
+}
+
+size_t
+countSelects(const ir::Function &fn)
+{
+    size_t n = 0;
+    for (const auto &bb : fn.blocks)
+        for (const auto &in : bb.instrs)
+            if (in.op == ir::Opcode::Select ||
+                in.op == ir::Opcode::FSelect)
+                n++;
+    return n;
+}
+
+void
+listKernel(const char *app_name, apps::Variant v, const char *title,
+           uint32_t max_blocks)
+{
+    apps::AppRun run =
+        apps::findApp(app_name)->make(v, apps::Scale::Small, 5);
+    const ir::Function &fn = *run.kernel;
+    std::printf("--- %s ---\n", title);
+    std::printf("static: %zu instrs, %zu loads, %zu stores, %zu "
+                "branches, %zu cmovs\n\n",
+                fn.numInstrs(),
+                countClass(fn, ir::InstrClass::Load) +
+                    countClass(fn, ir::InstrClass::FpLoad),
+                countClass(fn, ir::InstrClass::Store) +
+                    countClass(fn, ir::InstrClass::FpStore),
+                countClass(fn, ir::InstrClass::CondBranch),
+                countSelects(fn));
+    uint32_t shown = 0;
+    for (const auto &bb : fn.blocks) {
+        if (shown++ >= max_blocks) {
+            std::printf("  ... (%zu more blocks)\n\n",
+                        fn.blocks.size() - max_blocks);
+            break;
+        }
+        std::printf("bb%u <%s>:\n", bb.id, bb.name.c_str());
+        for (const auto &in : bb.instrs)
+            std::printf("    %s\n",
+                        ir::toString(*run.prog, in).c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figures 6/7: hmmsearch P7Viterbi, original vs "
+                "load-scheduled machine code ===\n\n");
+    listKernel("hmmsearch", apps::Variant::Baseline,
+               "Figure 6(a)/7(a): original (per-IF stores, "
+               "load-to-branch chains)", 12);
+    listKernel("hmmsearch", apps::Variant::Transformed,
+               "Figure 6(c)/7(b): transformed (grouped loads, "
+               "conditional moves, single stores)", 12);
+
+    std::printf("=== Figure 8: predator prdfali, original vs "
+                "transformed ===\n\n");
+    listKernel("predator", apps::Variant::Baseline,
+               "Figure 8(a): va[j] guarded by the pair-list branch",
+               14);
+    listKernel("predator", apps::Variant::Transformed,
+               "Figure 8(b): va[j] hoisted above the FOR loop", 14);
+
+    // Figure 5: the compiler's-eye view of the hoisting problem.
+    std::printf("=== Figure 5: why the compiler cannot hoist — and "
+                "what region knowledge unlocks ===\n\n");
+    for (auto mode : { opt::DisambiguationOracle::Mode::Conservative,
+                       opt::DisambiguationOracle::Mode::RegionBased }) {
+        apps::AppRun run = apps::findApp("hmmsearch")
+                               ->make(apps::Variant::Baseline,
+                                      apps::Scale::Small, 5);
+        opt::LoadHoistPass hoist{ opt::DisambiguationOracle(mode) };
+        uint32_t hoisted = 0;
+        for (size_t f = 0; f < run.prog->numFunctions(); f++) {
+            hoisted +=
+                hoist.run(*run.prog, run.prog->function(f)).transformed;
+        }
+        std::printf("%-44s hoisted %u loads\n",
+                    mode == opt::DisambiguationOracle::Mode::Conservative
+                        ? "conservative disambiguation (the compiler):"
+                        : "region-based disambiguation (the programmer):",
+                    hoisted);
+    }
+    std::printf("\npaper shape: the conservative (compiler) oracle "
+                "cannot move the box-2/box-3 loads across the "
+                "intervening mc/dc/ic stores — only the store-free "
+                "ones move; region knowledge (what the manual "
+                "transformation and `restrict` express) unblocks the "
+                "rest, which is the count gap above.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates the Section 5.1 Itanium discussion: on the in-order
+ * Itanium 2, compiling the *baseline* source with `restrict`-style
+ * no-alias knowledge lets the compiler hoist the loads itself, and
+ * then baseline and manually transformed code perform similarly.
+ *
+ * Three configurations per application:
+ *   1. baseline, conservative disambiguation (plain -O3);
+ *   2. baseline + automatic load hoisting and scheduling under
+ *      region-based disambiguation (the `restrict` build);
+ *   3. the manually load-transformed source.
+ */
+#include <cstdio>
+
+#include "apps/app.h"
+#include "core/simulator.h"
+#include "cpu/platforms.h"
+#include "opt/list_schedule.h"
+#include "opt/load_hoist.h"
+#include "util/table.h"
+
+using namespace bioperf;
+
+namespace {
+
+double
+timeItanium(apps::AppRun &run)
+{
+    const auto res =
+        core::Simulator::time(run, cpu::itanium2());
+    if (!res.verified) {
+        std::printf("VERIFICATION FAILED for %s\n", run.name.c_str());
+        std::exit(1);
+    }
+    return static_cast<double>(res.cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section 5.1: Itanium 2 — baseline vs "
+                "`restrict` vs manual transformation ===\n\n");
+    util::TextTable t({ "program", "restrict speedup",
+                        "manual speedup", "manual vs restrict" });
+    for (const auto &app : apps::transformableApps()) {
+        apps::AppRun base =
+            app.make(apps::Variant::Baseline, apps::Scale::Small, 42);
+        const double base_cycles = timeItanium(base);
+
+        // The restrict build: automatic hoisting + rescheduling with
+        // programmer alias knowledge, on the baseline source.
+        apps::AppRun restr =
+            app.make(apps::Variant::Baseline, apps::Scale::Small, 42);
+        opt::DisambiguationOracle oracle(
+            opt::DisambiguationOracle::Mode::RegionBased);
+        opt::LoadHoistPass hoist{ oracle };
+        opt::ListSchedulePass sched{ oracle };
+        for (size_t f = 0; f < restr.prog->numFunctions(); f++) {
+            hoist.run(*restr.prog, restr.prog->function(f));
+            sched.run(*restr.prog, restr.prog->function(f));
+        }
+        restr.prog->renumber();
+        const double restrict_cycles = timeItanium(restr);
+
+        apps::AppRun xform = app.make(apps::Variant::Transformed,
+                                      apps::Scale::Small, 42);
+        const double xform_cycles = timeItanium(xform);
+
+        t.row()
+            .cell(app.name)
+            .cellPercent(100.0 * (base_cycles / restrict_cycles - 1.0),
+                         1)
+            .cellPercent(100.0 * (base_cycles / xform_cycles - 1.0), 1)
+            .cellPercent(
+                100.0 * (restrict_cycles / xform_cycles - 1.0), 1);
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("paper shape: with restrict, the baseline recovers "
+                "much of the manual transformation's benefit on the "
+                "in-order machine (the last column shrinks toward "
+                "0%%); without it the compiler's speculative loads "
+                "pay recovery costs the manual code avoids.\n");
+    return 0;
+}

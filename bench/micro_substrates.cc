@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrates
+ * themselves (host throughput, not simulated time): cache accesses,
+ * branch prediction, interpretation, and full timing simulation.
+ * Useful to size experiment budgets and catch performance
+ * regressions in the simulator.
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/app.h"
+#include "branch/predictors.h"
+#include "cpu/ooo_core.h"
+#include "cpu/platforms.h"
+#include "mem/hierarchy.h"
+#include "profile/instruction_mix.h"
+#include "util/rng.h"
+#include "vm/interpreter.h"
+
+using namespace bioperf;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheHierarchy h = mem::CacheHierarchy::referenceConfig();
+    util::Rng rng(1);
+    std::vector<uint64_t> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.nextBelow(1 << 22);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            h.access(addrs[i++ & 4095], false).latency);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HybridPredictor(benchmark::State &state)
+{
+    branch::HybridPredictor p;
+    util::Rng rng(2);
+    std::vector<std::pair<uint32_t, bool>> seq(4096);
+    for (auto &s : seq)
+        s = { static_cast<uint32_t>(rng.nextBelow(64)),
+              rng.nextBool(0.7) };
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[sid, taken] = seq[i++ & 4095];
+        benchmark::DoNotOptimize(p.predictAndTrain(sid, taken));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridPredictor);
+
+void
+BM_InterpretHmmsearch(benchmark::State &state)
+{
+    apps::AppRun run = apps::findApp("hmmsearch")
+                           ->make(apps::Variant::Baseline,
+                                  apps::Scale::Small, 7);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        vm::Interpreter interp(*run.prog);
+        run.driver(interp);
+        instrs += interp.totalInstrs();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instrs));
+}
+BENCHMARK(BM_InterpretHmmsearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimeHmmsearchOnAlpha(benchmark::State &state)
+{
+    apps::AppRun run = apps::findApp("hmmsearch")
+                           ->make(apps::Variant::Baseline,
+                                  apps::Scale::Small, 7);
+    const auto platform = cpu::alpha21264();
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        mem::CacheHierarchy caches = platform.makeHierarchy();
+        auto pred = platform.makePredictor();
+        cpu::OooCore core(platform.core, &caches, pred.get());
+        vm::Interpreter interp(*run.prog);
+        interp.addSink(&core);
+        run.driver(interp);
+        instrs += core.instructions();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instrs));
+}
+BENCHMARK(BM_TimeHmmsearchOnAlpha)->Unit(benchmark::kMillisecond);
+
+void
+BM_CharacterizeBlast(benchmark::State &state)
+{
+    apps::AppRun run = apps::findApp("blast")->make(
+        apps::Variant::Baseline, apps::Scale::Small, 7);
+    for (auto _ : state) {
+        profile::InstructionMixProfiler mix;
+        vm::Interpreter interp(*run.prog);
+        interp.addSink(&mix);
+        run.driver(interp);
+        benchmark::DoNotOptimize(mix.total());
+    }
+}
+BENCHMARK(BM_CharacterizeBlast)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation (ours): software prefetching as the complement of the
+ * paper's Section 2.1 scoping. The memory-bound EMBOSS-style
+ * contrast application (megamerger-like) misses in L1 by design, so
+ * the right medicine is prefetching — while the paper's BioPerf
+ * codes hit in L1, so prefetching only adds instructions there and
+ * the right medicine is the paper's load *scheduling*. Two programs,
+ * two diagnoses, two different cures.
+ */
+#include <cstdio>
+
+#include "apps/app.h"
+#include "core/simulator.h"
+#include "cpu/platforms.h"
+#include "opt/prefetch.h"
+#include "util/table.h"
+
+using namespace bioperf;
+
+namespace {
+
+uint64_t
+timeOnAlpha(apps::AppRun &run)
+{
+    const auto res = core::Simulator::time(run, cpu::alpha21264());
+    if (!res.verified) {
+        std::printf("VERIFICATION FAILED for %s\n", run.name.c_str());
+        std::exit(1);
+    }
+    return res.cycles;
+}
+
+void
+evaluate(const char *app_name)
+{
+    util::TextTable t({ "configuration", "prefetches inserted",
+                        "cycles", "speedup vs baseline" });
+    apps::AppRun base = apps::findApp(app_name)->make(
+        apps::Variant::Baseline, apps::Scale::Medium, 42);
+    const uint64_t base_cycles = timeOnAlpha(base);
+    t.row().cell("baseline").cell(uint64_t(0)).cell(base_cycles)
+        .cell("-");
+
+    for (uint32_t distance : { 4u, 16u, 64u }) {
+        apps::AppRun run = apps::findApp(app_name)->make(
+            apps::Variant::Baseline, apps::Scale::Medium, 42);
+        opt::PrefetchInsertionPass pass(distance);
+        uint32_t inserted = 0;
+        for (size_t f = 0; f < run.prog->numFunctions(); f++)
+            inserted +=
+                pass.run(*run.prog, run.prog->function(f)).transformed;
+        run.prog->renumber();
+        const uint64_t cycles = timeOnAlpha(run);
+        t.row()
+            .cell("prefetch, distance " + std::to_string(distance))
+            .cell(static_cast<uint64_t>(inserted))
+            .cell(cycles)
+            .cellPercent(
+                100.0 * (static_cast<double>(base_cycles) /
+                             static_cast<double>(cycles) -
+                         1.0),
+                1);
+    }
+    std::printf("--- %s ---\n%s\n", app_name, t.str().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: software prefetching on memory-bound "
+                "vs L1-resident codes (Alpha 21264) ===\n\n");
+    evaluate("megamerger-like");
+    evaluate("hmmsearch");
+    std::printf("expected shape: large gains on the streaming merge "
+                "(its load latency is miss latency), nothing but "
+                "instruction overhead on hmmsearch (its loads already "
+                "hit in L1 — the paper's whole point). The paper's "
+                "transformation and prefetching are orthogonal cures "
+                "for orthogonal diseases.\n");
+    return 0;
+}

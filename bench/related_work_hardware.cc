@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation (Section 6 related work): hardware load-latency-hiding
+ * alternatives versus the paper's software transformation.
+ *
+ * Austin & Sohi's zero-cycle loads "tolerate the load latency in an
+ * in-order issue machine well, but do not see much benefit in an
+ * out-of-order issue machine"; Calder & Reinman survey load value
+ * speculation. This harness runs the baseline hmmsearch with each
+ * mechanism on both core types and compares against the source-level
+ * transformation — testing whether the paper's implicit claim (the
+ * software fix beats the hardware fixes on the machines that matter)
+ * holds in this model.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "apps/app.h"
+#include "cpu/inorder_core.h"
+#include "cpu/load_accel.h"
+#include "cpu/ooo_core.h"
+#include "cpu/platforms.h"
+#include "util/table.h"
+#include "vm/interpreter.h"
+
+using namespace bioperf;
+
+namespace {
+
+struct RunOut
+{
+    uint64_t cycles = 0;
+    double accel_hit_rate = -1.0;
+};
+
+RunOut
+timeWith(const cpu::PlatformConfig &platform, apps::Variant variant,
+         cpu::LoadAccelerator *accel)
+{
+    apps::AppRun run = apps::findApp("hmmsearch")
+                           ->make(variant, apps::Scale::Small, 42);
+    mem::CacheHierarchy caches = platform.makeHierarchy();
+    auto pred = platform.makePredictor();
+    vm::Interpreter interp(*run.prog);
+    RunOut out;
+    if (platform.core.outOfOrder) {
+        cpu::OooCore core(platform.core, &caches, pred.get());
+        core.setLoadAccelerator(accel);
+        interp.addSink(&core);
+        run.driver(interp);
+        out.cycles = core.cycles();
+    } else {
+        cpu::InorderCore core(platform.core, &caches, pred.get());
+        core.setLoadAccelerator(accel);
+        interp.addSink(&core);
+        run.driver(interp);
+        out.cycles = core.cycles();
+    }
+    if (!run.verify()) {
+        std::printf("VERIFICATION FAILED\n");
+        std::exit(1);
+    }
+    if (accel)
+        out.accel_hit_rate = accel->hitRate();
+    return out;
+}
+
+void
+evaluate(const cpu::PlatformConfig &platform)
+{
+    const RunOut base =
+        timeWith(platform, apps::Variant::Baseline, nullptr);
+    const RunOut sw =
+        timeWith(platform, apps::Variant::Transformed, nullptr);
+
+    cpu::ZeroCycleLoadUnit zcl;
+    const RunOut zc = timeWith(platform, apps::Variant::Baseline, &zcl);
+    cpu::LastValuePredictor lvp_unit;
+    const RunOut lvp =
+        timeWith(platform, apps::Variant::Baseline, &lvp_unit);
+
+    auto pct = [&](uint64_t cycles) {
+        return 100.0 * (static_cast<double>(base.cycles) /
+                            static_cast<double>(cycles) -
+                        1.0);
+    };
+    util::TextTable t({ "mechanism", "cycles", "speedup vs baseline",
+                        "mechanism hit rate" });
+    t.row().cell("baseline").cell(base.cycles).cell("-").cell("-");
+    t.row()
+        .cell("zero-cycle loads (hw)")
+        .cell(zc.cycles)
+        .cellPercent(pct(zc.cycles), 1)
+        .cellPercent(100.0 * zc.accel_hit_rate, 1);
+    t.row()
+        .cell("last-value prediction (hw)")
+        .cell(lvp.cycles)
+        .cellPercent(pct(lvp.cycles), 1)
+        .cellPercent(100.0 * lvp.accel_hit_rate, 1);
+    t.row()
+        .cell("source-level scheduling (sw)")
+        .cell(sw.cycles)
+        .cellPercent(pct(sw.cycles), 1)
+        .cell("-");
+    std::printf("--- %s ---\n%s\n", platform.name.c_str(),
+                t.str().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Related work (Section 6): hardware load-latency "
+                "hiding vs the software transformation, hmmsearch "
+                "===\n\n");
+    evaluate(cpu::alpha21264());
+    // The Itanium 2 preset has a 1-cycle L1, which leaves zero-cycle
+    // loads nothing to remove; use an in-order core with the Alpha's
+    // 3-cycle L1 to expose the Austin & Sohi in-order benefit.
+    cpu::PlatformConfig inorder3 = cpu::alpha21264();
+    inorder3.name = "generic in-order, 3-cycle L1";
+    inorder3.core.outOfOrder = false;
+    inorder3.core.issueWidth = 4;
+    evaluate(inorder3);
+    std::printf("expected shape (Austin & Sohi): zero-cycle loads "
+                "help the in-order machine far more than the "
+                "out-of-order one, where speculation already issues "
+                "loads early; on both, the branch-aware software "
+                "transformation wins because the bottleneck is branch "
+                "resolution, not load issue.\n");
+    return 0;
+}

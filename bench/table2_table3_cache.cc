@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Table 2 (per-application cache behaviour: local L1 and
+ * L2 miss rates over loads, overall to-memory rate, and AMAT) under
+ * the Table 3 reference cache configuration.
+ *
+ * Paper reference points: L1 miss rates 0.35-1.9%, overall rates
+ * around 0.03%, AMAT 3.02-3.14 cycles — the multicycle L1 *hit*
+ * latency dominates.
+ */
+#include <cstdio>
+
+#include "apps/app.h"
+#include "core/simulator.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace bioperf;
+
+int
+main()
+{
+    const auto reference = mem::CacheHierarchy::referenceConfig();
+    std::printf("=== Table 3: modeled cache subsystem ===\n\n");
+    util::TextTable t3({ "level", "size", "assoc", "block",
+                         "policy" });
+    t3.row()
+        .cell("L1 data")
+        .cell("64 KB")
+        .cell("2 ways")
+        .cell("64 B")
+        .cell("write back, write allocate");
+    t3.row()
+        .cell("L2 unified")
+        .cell("4 MB")
+        .cell("direct-mapped")
+        .cell("64 B")
+        .cell("holds instructions and data");
+    std::printf("%s", t3.str().c_str());
+    std::printf("latencies: L1 hit %u, L2 penalty %u, memory penalty "
+                "%u cycles (AMAT = 3 + m1*(5 + m2*72))\n\n",
+                reference.latencies().l1HitLatency,
+                reference.latencies().l2Penalty,
+                reference.latencies().memPenalty);
+
+    std::printf("=== Table 2: cache performance of each application "
+                "===\n\n");
+    util::TextTable t2({ "program", "L1 local", "L2 local", "overall",
+                         "AMAT" });
+    std::vector<double> l1s, l2s, alls, amats;
+    for (const auto &app : apps::bioperfApps()) {
+        apps::AppRun run =
+            app.make(apps::Variant::Baseline, apps::Scale::Medium, 42);
+        const auto res = core::Simulator::characterize(run);
+        if (!res.verified) {
+            std::printf("VERIFICATION FAILED for %s\n",
+                        app.name.c_str());
+            return 1;
+        }
+        t2.row()
+            .cell(app.name)
+            .cellPercent(100.0 * res.cache->l1LocalMissRate(), 2)
+            .cellPercent(100.0 * res.cache->l2LocalMissRate(), 2)
+            .cellPercent(100.0 * res.cache->overallMissRate(), 3)
+            .cell(res.cache->amat(), 2);
+        l1s.push_back(100.0 * res.cache->l1LocalMissRate());
+        l2s.push_back(100.0 * res.cache->l2LocalMissRate());
+        alls.push_back(100.0 * res.cache->overallMissRate());
+        amats.push_back(res.cache->amat());
+    }
+    t2.row()
+        .cell("average")
+        .cellPercent(util::arithmeticMean(l1s), 2)
+        .cellPercent(util::arithmeticMean(l2s), 2)
+        .cellPercent(util::arithmeticMean(alls), 3)
+        .cell(util::arithmeticMean(amats), 2);
+    std::printf("%s\n", t2.str().c_str());
+    std::printf("paper shape: caches satisfy almost all loads; AMAT "
+                "~= the 3-cycle L1 hit latency (3.02-3.14)\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Table 6: the static footprint of the source-level load
+ * scheduling for the six amenable applications — how many static
+ * loads were considered and how many lines of code the transformation
+ * involves — plus the static instruction-count deltas our IR makes
+ * visible (notably the conditional branches removed by if-conversion
+ * of the transformed code).
+ *
+ * Paper reference points: dnapenny 3 loads / 10 lines, hmmpfam 16/25,
+ * hmmsearch 19/30, hmmcalibrate 14/25, predator 1/5, clustalw 4/10.
+ */
+#include <cstdio>
+
+#include "core/transform_pipeline.h"
+#include "util/table.h"
+
+using namespace bioperf;
+
+int
+main()
+{
+    const auto reports =
+        core::TransformPipeline::analyzeAll(apps::Scale::Small, 42);
+
+    std::printf("=== Table 6: static loads and source lines involved "
+                "in the load transformation ===\n\n");
+    util::TextTable t({ "program", "tagged loads in hot region",
+                        "lines involved", "static instrs base->xform",
+                        "static branches base->xform", "equivalent" });
+    for (const auto &r : reports) {
+        t.row()
+            .cell(r.app)
+            .cell(static_cast<uint64_t>(r.staticLoadsConsidered))
+            .cell(static_cast<uint64_t>(r.linesInvolved))
+            .cell(std::to_string(r.baselineStaticInstrs) + " -> " +
+                  std::to_string(r.transformedStaticInstrs))
+            .cell(std::to_string(r.baselineStaticBranches) + " -> " +
+                  std::to_string(r.transformedStaticBranches))
+            .cell(r.baselineVerified && r.transformedVerified
+                      ? "yes" : "NO");
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("paper shape: predator's footprint is the smallest "
+                "(1 load / 5 lines), the hmmer codes the largest "
+                "(14-19 loads / 25-30 lines); every transformed "
+                "kernel is bit-equivalent to its baseline\n");
+    return 0;
+}

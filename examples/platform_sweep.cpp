@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sweep a custom platform design space: how do window size, L1 hit
+ * latency and misprediction penalty move the baseline/transformed gap
+ * for one application? Shows how to assemble PlatformConfig objects
+ * beyond the four built-in machines.
+ *
+ *   ./examples/platform_sweep [app-name]
+ */
+#include <cstdio>
+#include <string>
+
+#include "apps/app.h"
+#include "core/simulator.h"
+#include "cpu/platforms.h"
+#include "util/table.h"
+
+using namespace bioperf;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "hmmsearch";
+    const apps::AppInfo *app = apps::findApp(name);
+    if (!app || !app->transformable) {
+        std::printf("pick a transformable app\n");
+        return 1;
+    }
+
+    std::printf("=== design-space sweep for %s ===\n\n",
+                name.c_str());
+
+    util::TextTable t({ "configuration", "L1 lat", "window",
+                        "mispredict penalty", "speedup" });
+    auto add = [&](const char *label, uint32_t l1, uint32_t window,
+                   uint32_t penalty, bool ooo) {
+        cpu::PlatformConfig p = cpu::alpha21264();
+        p.latencies.l1HitLatency = l1;
+        p.core.windowSize = window;
+        p.core.mispredictPenalty = penalty;
+        p.core.outOfOrder = ooo;
+        const double sp = core::Simulator::speedup(
+            *app, p, apps::Scale::Small, 3);
+        t.row()
+            .cell(label)
+            .cell(static_cast<uint64_t>(l1))
+            .cell(static_cast<uint64_t>(window))
+            .cell(static_cast<uint64_t>(penalty))
+            .cellPercent(100.0 * (sp - 1.0), 1);
+    };
+
+    add("single-cycle L1", 1, 80, 9, true);
+    add("Alpha-like (reference)", 3, 80, 9, true);
+    add("slow L1", 5, 80, 9, true);
+    add("tiny window", 3, 8, 9, true);
+    add("huge window", 3, 512, 9, true);
+    add("cheap mispredicts", 3, 80, 2, true);
+    add("deep pipeline", 3, 80, 25, true);
+    add("in-order", 3, 1, 9, false);
+
+    std::printf("%s\n", t.str().c_str());
+    std::printf("reading guide: the benefit scales with L1 hit "
+                "latency and misprediction penalty (the two terms of "
+                "the paper's exposed-latency mechanism), and neither "
+                "a huge window nor a tiny one makes the baseline's "
+                "load-to-branch chains free.\n");
+    return 0;
+}

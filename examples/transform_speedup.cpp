@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's headline result in one program: build baseline and
+ * load-transformed hmmsearch, prove them equivalent against the
+ * golden model, and time both on the Alpha 21264 configuration.
+ * Also demonstrates the automatic pass pipeline: what load hoisting
+ * achieves with and without programmer alias knowledge.
+ *
+ *   ./examples/transform_speedup [app-name]
+ */
+#include <cstdio>
+#include <string>
+
+#include "apps/app.h"
+#include "core/simulator.h"
+#include "core/transform_pipeline.h"
+#include "cpu/platforms.h"
+#include "opt/load_hoist.h"
+
+using namespace bioperf;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "hmmsearch";
+    const apps::AppInfo *app = apps::findApp(name);
+    if (!app || !app->transformable) {
+        std::printf("'%s' is not a transformable application; pick "
+                    "one of:", name.c_str());
+        for (const auto &a : apps::transformableApps())
+            std::printf(" %s", a.name.c_str());
+        std::printf("\n");
+        return 1;
+    }
+
+    // 1. Equivalence first: both variants against the golden model.
+    const auto rep =
+        core::TransformPipeline::analyze(*app, apps::Scale::Small, 9);
+    std::printf("baseline verified   : %s\n",
+                rep.baselineVerified ? "yes" : "NO");
+    std::printf("transformed verified: %s\n",
+                rep.transformedVerified ? "yes" : "NO");
+    std::printf("static branches     : %zu -> %zu "
+                "(if-conversion to cmov)\n",
+                rep.baselineStaticBranches,
+                rep.transformedStaticBranches);
+    std::printf("transformation size : %u load sites across %u "
+                "source lines\n\n",
+                rep.staticLoadsConsidered, rep.linesInvolved);
+
+    // 2. The speedup on the paper's reference machine.
+    const auto alpha = cpu::alpha21264();
+    core::TimingResult tb, tx;
+    const double sp = core::Simulator::speedup(
+        *app, alpha, apps::Scale::Small, 9, &tb, &tx);
+    std::printf("Alpha 21264 (3-cycle L1 hit):\n");
+    std::printf("  original        : %llu cycles  (IPC %.2f, "
+                "%llu mispredicts)\n",
+                static_cast<unsigned long long>(tb.cycles), tb.ipc,
+                static_cast<unsigned long long>(tb.mispredicts));
+    std::printf("  load-transformed: %llu cycles  (IPC %.2f, "
+                "%llu mispredicts)\n",
+                static_cast<unsigned long long>(tx.cycles), tx.ipc,
+                static_cast<unsigned long long>(tx.mispredicts));
+    std::printf("  speedup         : %.1f%%\n\n", 100.0 * (sp - 1.0));
+
+    // 3. How far automatic hoisting gets, by oracle strength.
+    for (auto mode : { opt::DisambiguationOracle::Mode::Conservative,
+                       opt::DisambiguationOracle::Mode::RegionBased }) {
+        apps::AppRun run =
+            app->make(apps::Variant::Baseline, apps::Scale::Small, 9);
+        opt::LoadHoistPass hoist{ opt::DisambiguationOracle(mode) };
+        uint32_t hoisted = 0;
+        for (size_t f = 0; f < run.prog->numFunctions(); f++)
+            hoisted +=
+                hoist.run(*run.prog, run.prog->function(f)).transformed;
+        run.prog->renumber();
+        const auto t = core::Simulator::time(run, alpha);
+        std::printf("auto-hoist (%s): %u loads hoisted, %llu cycles, "
+                    "verified: %s\n",
+                    mode == opt::DisambiguationOracle::Mode::Conservative
+                        ? "compiler view" : "programmer view",
+                    hoisted,
+                    static_cast<unsigned long long>(t.cycles),
+                    t.verified ? "yes" : "NO");
+    }
+    std::printf("\nreading guide: the conservative oracle cannot "
+                "move any load across the mc/dc/ic stores (Section "
+                "2.2.2), so it only hoists store-free loads; the "
+                "region oracle unlocks the rest. On this already-"
+                "speculating out-of-order core, hoisting alone does "
+                "not pay — the duplicated speculative loads cost "
+                "instructions — which is why the paper's manual "
+                "transformation also restructures the IFs so the "
+                "compiler can turn them into conditional moves "
+                "(compare the mispredict counts above). The in-order "
+                "Itanium is where hoisting alone shines: see "
+                "bench/itanium_restrict_ablation.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+#include "apps/app.h"
+
+#include "opt/dce.h"
+#include "opt/if_conversion.h"
+#include "opt/list_schedule.h"
+
+namespace bioperf::apps {
+
+void
+compileKernel(ir::Program &prog, ir::Function &fn,
+              const opt::DisambiguationOracle &oracle)
+{
+    opt::PassManager pm;
+    pm.add(std::make_unique<opt::IfConversionPass>());
+    pm.add(std::make_unique<opt::ListSchedulePass>(oracle));
+    pm.add(std::make_unique<opt::DcePass>());
+    pm.run(prog, fn);
+}
+
+const std::vector<AppInfo> &
+bioperfApps()
+{
+    static const std::vector<AppInfo> apps = {
+        { "blast", "sequence analysis", false, makeBlast },
+        { "clustalw", "sequence analysis", true, makeClustalw },
+        { "dnapenny", "molecular phylogeny", true, makeDnapenny },
+        { "fasta", "sequence analysis", false, makeFasta },
+        { "hmmcalibrate", "sequence analysis", true, makeHmmcalibrate },
+        { "hmmpfam", "sequence analysis", true, makeHmmpfam },
+        { "hmmsearch", "sequence analysis", true, makeHmmsearch },
+        { "predator", "protein structure", true, makePredator },
+        { "promlk", "molecular phylogeny", false, makePromlk },
+    };
+    return apps;
+}
+
+std::vector<AppInfo>
+transformableApps()
+{
+    std::vector<AppInfo> out;
+    for (const auto &a : bioperfApps())
+        if (a.transformable)
+            out.push_back(a);
+    return out;
+}
+
+const AppInfo *
+findApp(const std::string &name)
+{
+    for (const auto &a : bioperfApps())
+        if (a.name == name)
+            return &a;
+    for (const auto &a : specLikeApps())
+        if (a.name == name)
+            return &a;
+    for (const auto &a : memoryBoundApps())
+        if (a.name == name)
+            return &a;
+    return nullptr;
+}
+
+const std::vector<AppInfo> &
+memoryBoundApps()
+{
+    static const std::vector<AppInfo> apps = {
+        { "megamerger-like", "EMBOSS (memory-bound contrast)", false,
+          makeMegamerger },
+    };
+    return apps;
+}
+
+const std::vector<AppInfo> &
+specLikeApps()
+{
+    static const std::vector<AppInfo> apps = {
+        { "crafty-like", "SPEC CPU2000 int", false,
+          [](Variant, Scale s, uint64_t seed) {
+              return makeSpecLike("crafty-like", 1.1, s, seed);
+          } },
+        { "vortex-like", "SPEC CPU2000 int", false,
+          [](Variant, Scale s, uint64_t seed) {
+              return makeSpecLike("vortex-like", 0.6, s, seed);
+          } },
+        { "gcc-like", "SPEC CPU2000 int", false,
+          [](Variant, Scale s, uint64_t seed) {
+              return makeSpecLike("gcc-like", 0.25, s, seed);
+          } },
+    };
+    return apps;
+}
+
+} // namespace bioperf::apps

@@ -1,0 +1,123 @@
+#ifndef BIOPERF_APPS_APP_H_
+#define BIOPERF_APPS_APP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "opt/pass.h"
+#include "vm/interpreter.h"
+
+namespace bioperf::apps {
+
+/** Which version of an application's kernel to build. */
+enum class Variant : uint8_t {
+    /** The original code, as shipped (Figures 6(a) and 8(a)). */
+    Baseline,
+    /** After the paper's manual source-level load scheduling. */
+    Transformed,
+};
+
+/**
+ * Workload scale knob. Small keeps unit tests fast; Medium matches
+ * the characterization runs (class-B-like); Large the speedup runs
+ * (class-C-like). Sizes are synthetic-input element counts, far below
+ * the real suites' (documented substitution — the loop *shapes*, not
+ * the absolute instruction counts, carry the paper's effects).
+ */
+enum class Scale : uint8_t { Small, Medium, Large };
+
+/**
+ * A fully prepared application run: the program, its kernel function,
+ * a host driver that supplies inputs and invokes the kernel over the
+ * whole workload, and a post-run verification against a host-language
+ * reference implementation (the "golden model").
+ *
+ * Contract: the caller may transform `*kernel` (optimizer passes,
+ * register allocation) after construction and before creating the
+ * Interpreter; `driver` and `verify` only communicate with the kernel
+ * through memory regions and parameters, so they remain valid.
+ */
+struct AppRun
+{
+    std::string name;
+    std::unique_ptr<ir::Program> prog;
+    ir::Function *kernel = nullptr;
+
+    /** Executes the full workload through the interpreter. */
+    std::function<void(vm::Interpreter &)> driver;
+
+    /** True iff the run's outputs match the golden model. */
+    std::function<bool()> verify;
+};
+
+/**
+ * One BioPerf application in the registry: metadata plus the factory
+ * that assembles an AppRun for a given variant/scale/seed.
+ */
+struct AppInfo
+{
+    std::string name;
+    std::string area; ///< paper's three bioinformatics areas
+    bool transformable = false;
+    std::function<AppRun(Variant, Scale, uint64_t seed)> make;
+};
+
+/** The nine BioPerf applications, in the paper's table order. */
+const std::vector<AppInfo> &bioperfApps();
+
+/** The six applications amenable to load scheduling (Table 6). */
+std::vector<AppInfo> transformableApps();
+
+/** Look up an application by name (nullptr if unknown). */
+const AppInfo *findApp(const std::string &name);
+
+/**
+ * The three SPEC-CPU2000-integer-like contrast programs of Figure 2
+ * (synthetic flat-load-profile codes named after their archetypes).
+ */
+const std::vector<AppInfo> &specLikeApps();
+
+/**
+ * Memory-bound contrast programs modeled on the EMBOSS codes the
+ * paper excludes in Section 2.1 (diffseq/megamerger/shuffleseq):
+ * streaming working sets whose loads actually miss, the profile the
+ * paper's transformation does not target.
+ */
+const std::vector<AppInfo> &memoryBoundApps();
+
+/**
+ * Applies the standard "optimizing compiler" pass pipeline: local
+ * list scheduling, if-conversion and dead code elimination, with
+ * memory disambiguation per @a oracle. Baseline and transformed
+ * kernels both go through this, mirroring the paper's methodology of
+ * compiling both with the same -O3 flags.
+ */
+void compileKernel(ir::Program &prog, ir::Function &fn,
+                   const opt::DisambiguationOracle &oracle =
+                       opt::DisambiguationOracle{});
+
+// --- individual application factories ---------------------------------
+
+AppRun makeHmmsearch(Variant v, Scale s, uint64_t seed);
+AppRun makeHmmpfam(Variant v, Scale s, uint64_t seed);
+AppRun makeHmmcalibrate(Variant v, Scale s, uint64_t seed);
+AppRun makeClustalw(Variant v, Scale s, uint64_t seed);
+AppRun makePredator(Variant v, Scale s, uint64_t seed);
+AppRun makeDnapenny(Variant v, Scale s, uint64_t seed);
+AppRun makePromlk(Variant v, Scale s, uint64_t seed);
+AppRun makeBlast(Variant v, Scale s, uint64_t seed);
+AppRun makeFasta(Variant v, Scale s, uint64_t seed);
+
+/** skew in (0, 2]: larger = more concentrated static load profile. */
+AppRun makeSpecLike(const std::string &name, double skew, Scale s,
+                    uint64_t seed);
+
+AppRun makeMegamerger(Variant v, Scale s, uint64_t seed);
+
+} // namespace bioperf::apps
+
+#endif // BIOPERF_APPS_APP_H_

@@ -1,0 +1,323 @@
+#include <memory>
+
+#include "apps/app.h"
+#include "ir/builder.h"
+#include "util/rng.h"
+#include "vm/memory.h"
+#include "workload/blosum.h"
+#include "workload/sequences.h"
+
+namespace bioperf::apps {
+
+namespace {
+
+using ir::ArrayRef;
+using ir::FunctionBuilder;
+using ir::Value;
+
+constexpr int32_t kGapOpen = 20;
+constexpr int32_t kGapExtend = 4;
+constexpr int32_t kDdInit = -10000;
+
+struct PairResult
+{
+    int64_t score = 0;
+    int64_t mi = 0;
+    int64_t mj = 0;
+};
+
+struct ClustalwState
+{
+    std::vector<std::vector<uint8_t>> seqs;
+    int64_t expected = 0;
+    int64_t actual = 0;
+};
+
+/**
+ * Host golden model of forward_pass: Smith-Waterman-style local
+ * alignment with affine gaps over one row pair, mirroring the kernel
+ * cell-for-cell (same tie-breaking, same clamps).
+ */
+PairResult
+referenceForwardPass(const std::vector<uint8_t> &s1,
+                     const std::vector<uint8_t> &s2)
+{
+    const auto &mat = workload::blosum62();
+    const size_t n = s1.size(), m = s2.size();
+    std::vector<int32_t> hh(m + 1, 0), dd(m + 1, kDdInit);
+    PairResult r;
+    for (size_t i = 1; i <= n; i++) {
+        const int soff = s1[i - 1];
+        int64_t p = 0;    // H[i-1][j-1]
+        int64_t hcur = 0; // H[i][j-1]
+        int64_t e = kDdInit;
+        for (size_t j = 1; j <= m; j++) {
+            const int64_t hx = hh[j];
+            const int64_t dx = dd[j];
+            int64_t dj = dx - kGapExtend;
+            const int64_t t1 = hx - kGapOpen;
+            if (t1 > dj)
+                dj = t1;
+            dd[j] = static_cast<int32_t>(dj);
+            int64_t e2 = e - kGapExtend;
+            const int64_t t3 = hcur - kGapOpen;
+            if (t3 > e2)
+                e2 = t3;
+            e = e2;
+            int64_t sc = p + mat[soff][s2[j - 1]];
+            if (dj > sc)
+                sc = dj;
+            if (e > sc)
+                sc = e;
+            if (sc < 0)
+                sc = 0;
+            p = hx;
+            hh[j] = static_cast<int32_t>(sc);
+            hcur = sc;
+            if (sc > r.score) {
+                r.score = sc;
+                r.mi = static_cast<int64_t>(i);
+                r.mj = static_cast<int64_t>(j);
+            }
+        }
+    }
+    return r;
+}
+
+} // namespace
+
+/**
+ * clustalw: the pairwise-alignment phase (forward_pass of
+ * pairalign.c), which dominates real clustalw runs. All sequence
+ * pairs are aligned with an affine-gap local DP over BLOSUM62.
+ *
+ * Baseline: per-cell loads are interleaved with the compare-and-store
+ * update of the vertical gap row dd[] — the stores in the IF arms
+ * block compiler hoisting and put loads right behind data-dependent
+ * branches. Transformed (per Table 6: four static loads, ~10 lines):
+ * all four loads grouped at the top of the cell, register maxima
+ * (if-converted to conditional moves), one store per array.
+ */
+AppRun
+makeClustalw(Variant v, Scale s, uint64_t seed)
+{
+    size_t num_seqs = 10;
+    size_t mean_len = 100;
+    switch (s) {
+      case Scale::Small:
+        num_seqs = 5;
+        mean_len = 36;
+        break;
+      case Scale::Medium:
+        break;
+      case Scale::Large:
+        num_seqs = 13;
+        mean_len = 150;
+        break;
+    }
+
+    util::Rng rng(seed);
+    auto state = std::make_shared<ClustalwState>();
+    state->seqs = workload::sequenceDatabase(
+        rng, num_seqs, mean_len, workload::kProteinAlphabet, 0.5);
+
+    size_t max_len = 1;
+    for (const auto &q : state->seqs)
+        max_len = std::max(max_len, q.size());
+
+    AppRun run;
+    run.name = "clustalw";
+    run.prog = std::make_unique<ir::Program>("clustalw");
+    ir::Program &prog = *run.prog;
+
+    FunctionBuilder b(prog, "forward_pass", "pairalign.c");
+    const Value n_v = b.param("n");
+    const Value m_v = b.param("m");
+    const Value gop = b.param("gop");
+    const Value gext = b.param("gext");
+
+    const ArrayRef s1 = b.byteArray("s1", max_len + 1);
+    const ArrayRef s2 = b.byteArray("s2", max_len + 1);
+    const ArrayRef mat = b.intArray("matrix", 20 * 20);
+    const ArrayRef hh = b.intArray("HH", max_len + 1);
+    const ArrayRef dd = b.intArray("DD", max_len + 1);
+    const ArrayRef out = b.longArray("out", 3);
+
+    auto maxv = b.var("maxscore");
+    auto mi = b.var("mi");
+    auto mj = b.var("mj");
+    auto i = b.var("i");
+    auto j = b.var("j");
+    auto p = b.var("p");
+    auto hcur = b.var("hcur");
+    auto e = b.var("e");
+    auto dj = b.var("dj");
+    auto sc = b.var("sc");
+    auto pnext = b.var("pnext");
+
+    b.assign(maxv, int64_t(0));
+    b.assign(mi, int64_t(0));
+    b.assign(mj, int64_t(0));
+
+    b.forLoop(i, b.constI(1), n_v, [&] {
+        const Value soff = b.ld(s1, Value(i) - 1) * 20;
+        b.assign(p, int64_t(0));
+        b.assign(hcur, int64_t(0));
+        b.assign(e, int64_t(kDdInit));
+        b.forLoop(j, b.constI(1), m_v, [&] {
+            if (v == Variant::Baseline) {
+                // Vertical gap: the original code updates DD[j] in
+                // the IF arm ("if (hh > dd) DD[j] = t1; else DD[j] =
+                // t2") — a store in each arm keeps this a real
+                // branch fed directly by the two loads, and blocks
+                // the compiler from hoisting the later loads past it.
+                b.line(478);
+                const Value t1 = b.ld(hh, j) - gop;
+                b.line(479);
+                const Value t2 = b.ld(dd, j) - gext;
+                b.ifThenElse(
+                    t1 > t2,
+                    [&] {
+                        b.st(dd, j, t1);
+                        b.assign(dj, t1);
+                    },
+                    [&] {
+                        b.st(dd, j, t2);
+                        b.assign(dj, t2);
+                    });
+                // Horizontal gap (registers).
+                b.line(481);
+                {
+                    const Value t3 = Value(hcur) - gop;
+                    const Value t4 = Value(e) - gext;
+                    b.ifThenElse(t3 > t4,
+                                 [&] { b.assign(e, t3); },
+                                 [&] { b.assign(e, t4); });
+                }
+                // Match: loads issued right behind the dd branch.
+                b.line(483);
+                const Value s2j = b.ld(s2, Value(j) - 1);
+                b.line(484);
+                b.assign(sc, Value(p) + b.ld(mat, soff + s2j));
+                b.ifThen(Value(dj) > sc, [&] { b.assign(sc, dj); });
+                b.ifThen(Value(e) > sc, [&] { b.assign(sc, e); });
+                b.ifThen(Value(sc) < 0,
+                         [&] { b.assign(sc, int64_t(0)); });
+                // Reload the old H[i-1][j] for the next diagonal.
+                b.line(488);
+                b.assign(pnext, b.ld(hh, j));
+                b.st(hh, j, sc);
+            } else {
+                // Transformed: the four loads first, single stores.
+                b.line(478);
+                const Value hx = b.ld(hh, j);
+                b.line(479);
+                const Value dx = b.ld(dd, j);
+                b.line(480);
+                const Value s2j = b.ld(s2, Value(j) - 1);
+                b.line(481);
+                const Value ms = b.ld(mat, soff + s2j);
+
+                b.assign(dj, dx - gext);
+                {
+                    const Value t1 = hx - gop;
+                    b.ifThen(t1 > dj, [&] { b.assign(dj, t1); });
+                }
+                b.st(dd, j, dj);
+                {
+                    const Value t3 = Value(hcur) - gop;
+                    const Value t4 = Value(e) - gext;
+                    b.ifThenElse(t3 > t4,
+                                 [&] { b.assign(e, t3); },
+                                 [&] { b.assign(e, t4); });
+                }
+                b.assign(sc, Value(p) + ms);
+                b.ifThen(Value(dj) > sc, [&] { b.assign(sc, dj); });
+                b.ifThen(Value(e) > sc, [&] { b.assign(sc, e); });
+                b.ifThen(Value(sc) < 0,
+                         [&] { b.assign(sc, int64_t(0)); });
+                b.assign(pnext, hx);
+                b.st(hh, j, sc);
+            }
+            b.line(492);
+            b.ifThen(Value(sc) > maxv, [&] {
+                b.assign(maxv, Value(sc));
+                b.assign(mi, Value(i));
+                b.assign(mj, Value(j));
+            });
+            b.assign(p, Value(pnext));
+            b.assign(hcur, Value(sc));
+        });
+    });
+    b.st(out, 0, maxv);
+    b.st(out, 1, mi);
+    b.st(out, 2, mj);
+    run.kernel = &b.finish();
+    compileKernel(prog, *run.kernel);
+
+    // Golden expectation: fold every pair's best score and location.
+    for (size_t a = 0; a < state->seqs.size(); a++) {
+        for (size_t c = a + 1; c < state->seqs.size(); c++) {
+            const PairResult r = referenceForwardPass(state->seqs[a],
+                                                      state->seqs[c]);
+            state->expected += r.score + 3 * r.mi + 7 * r.mj;
+        }
+    }
+
+    const ir::Program *prog_p = run.prog.get();
+    ir::Function *kernel = run.kernel;
+    const int32_t s1_region = s1.region;
+    const int32_t s2_region = s2.region;
+    const int32_t mat_region = mat.region;
+    const int32_t hh_region = hh.region;
+    const int32_t dd_region = dd.region;
+    const int32_t out_region = out.region;
+
+    run.driver = [=](vm::Interpreter &interp) {
+        auto &st = *state;
+        st.actual = 0;
+        {
+            vm::ArrayView<int32_t> view(interp.memory(),
+                                        prog_p->region(mat_region));
+            const auto &blosum = workload::blosum62();
+            for (int a = 0; a < 20; a++)
+                for (int c = 0; c < 20; c++)
+                    view.set(static_cast<uint64_t>(a) * 20 + c,
+                             blosum[a][c]);
+        }
+        auto put_seq = [&](int32_t region,
+                           const std::vector<uint8_t> &q) {
+            vm::ArrayView<int8_t> view(interp.memory(),
+                                       prog_p->region(region));
+            for (size_t idx = 0; idx < q.size(); idx++)
+                view.set(idx, static_cast<int8_t>(q[idx]));
+        };
+        vm::ArrayView<int64_t> out_view(interp.memory(),
+                                        prog_p->region(out_region));
+        vm::ArrayView<int32_t> hh_view(interp.memory(),
+                                       prog_p->region(hh_region));
+        vm::ArrayView<int32_t> dd_view(interp.memory(),
+                                       prog_p->region(dd_region));
+
+        for (size_t a = 0; a < st.seqs.size(); a++) {
+            for (size_t c = a + 1; c < st.seqs.size(); c++) {
+                put_seq(s1_region, st.seqs[a]);
+                put_seq(s2_region, st.seqs[c]);
+                for (uint64_t idx = 0; idx < hh_view.size(); idx++) {
+                    hh_view.set(idx, 0);
+                    dd_view.set(idx, kDdInit);
+                }
+                interp.run(*kernel,
+                           { static_cast<int64_t>(st.seqs[a].size()),
+                             static_cast<int64_t>(st.seqs[c].size()),
+                             kGapOpen, kGapExtend });
+                st.actual += out_view.get(0) + 3 * out_view.get(1) +
+                             7 * out_view.get(2);
+            }
+        }
+    };
+    run.verify = [state] { return state->actual == state->expected; };
+    return run;
+}
+
+} // namespace bioperf::apps

@@ -1,0 +1,231 @@
+#include <memory>
+
+#include "apps/app.h"
+#include "ir/builder.h"
+#include "util/rng.h"
+#include "vm/memory.h"
+#include "workload/sequences.h"
+
+namespace bioperf::apps {
+
+namespace {
+
+using ir::ArrayRef;
+using ir::FunctionBuilder;
+using ir::Value;
+
+constexpr int kWordLen = 2;
+
+struct FastaQuery
+{
+    std::vector<uint8_t> seq;
+    std::vector<int32_t> harr;  ///< 400-entry k-tuple hash heads
+    std::vector<int32_t> link;  ///< chains of query positions
+};
+
+struct FastaState
+{
+    std::vector<FastaQuery> queries;
+    std::vector<std::vector<uint8_t>> db;
+    int64_t expected = 0;
+    int64_t actual = 0;
+};
+
+/** Host golden model of one query x database diagonal scoring. */
+int64_t
+referenceScan(const FastaQuery &query, const std::vector<uint8_t> &dbseq)
+{
+    const int64_t dlen = static_cast<int64_t>(dbseq.size());
+    const int64_t qlen = static_cast<int64_t>(query.seq.size());
+    std::vector<int32_t> diag(static_cast<size_t>(dlen + qlen), 0);
+
+    for (int64_t p = 0; p + kWordLen <= dlen; p++) {
+        const int code = dbseq[p] * 20 + dbseq[p + 1];
+        for (int32_t q = query.harr[code]; q != -1;
+             q = query.link[q]) {
+            diag[static_cast<size_t>(p - q + qlen)]++;
+        }
+    }
+    // init1-style scan: the best diagonal and a weighted runner-up.
+    int64_t best = 0, bestd = 0, second = 0;
+    for (int64_t d = 0; d < dlen + qlen; d++) {
+        const int32_t v = diag[static_cast<size_t>(d)];
+        if (v > best) {
+            second = best;
+            best = v;
+            bestd = d;
+        } else if (v > second) {
+            second = v;
+        }
+    }
+    return 100000 * best + 100 * bestd + second;
+}
+
+} // namespace
+
+/**
+ * fasta: k-tuple diagonal scoring (the ktup lookup phase of fasta3's
+ * do_work). Each database position chases the query's k-tuple hash
+ * chain and bumps a diagonal counter — pointer-chasing loads feeding
+ * the chain-exit branch, then a read-modify-write on a
+ * data-dependent diagonal index. The closing best-diagonal scan is a
+ * classic load-to-hard-branch sequence. Not amenable to source-level
+ * scheduling (tight loops; the paper lists fasta among the three
+ * untransformed codes), so only the baseline exists.
+ */
+AppRun
+makeFasta(Variant, Scale s, uint64_t seed)
+{
+    size_t query_len = 90;
+    size_t num_seqs = 36;
+    size_t mean_len = 130;
+    switch (s) {
+      case Scale::Small:
+        query_len = 30;
+        num_seqs = 6;
+        mean_len = 50;
+        break;
+      case Scale::Medium:
+        break;
+      case Scale::Large:
+        query_len = 120;
+        num_seqs = 90;
+        mean_len = 190;
+        break;
+    }
+
+    util::Rng rng(seed);
+    auto state = std::make_shared<FastaState>();
+    // Two queries over the same database (multi-query runs), which
+    // also exercises the warmed steady-state cache behaviour.
+    for (int qi = 0; qi < 2; qi++) {
+        FastaQuery q;
+        q.seq = workload::randomSequence(rng, query_len,
+                                         workload::kProteinAlphabet);
+        q.harr.assign(400, -1);
+        q.link.assign(query_len, -1);
+        for (size_t qp = 0; qp + kWordLen <= query_len; qp++) {
+            const int code = q.seq[qp] * 20 + q.seq[qp + 1];
+            q.link[qp] = q.harr[code];
+            q.harr[code] = static_cast<int32_t>(qp);
+        }
+        state->queries.push_back(std::move(q));
+    }
+    state->db = workload::sequenceDatabase(
+        rng, num_seqs, mean_len, workload::kProteinAlphabet, 0.3);
+
+    size_t max_len = 1;
+    for (const auto &d : state->db)
+        max_len = std::max(max_len, d.size());
+
+    AppRun run;
+    run.name = "fasta";
+    run.prog = std::make_unique<ir::Program>("fasta");
+    ir::Program &prog = *run.prog;
+
+    FunctionBuilder b(prog, "do_work", "dropnfa.c");
+    const Value dlen = b.param("dlen");
+    const Value qlen = b.param("qlen");
+
+    const ArrayRef db = b.byteArray("db", max_len + 2);
+    const ArrayRef harr = b.intArray("harr", 400);
+    const ArrayRef link = b.intArray("link", query_len);
+    const ArrayRef diag = b.intArray("diag", max_len + query_len + 2);
+    const ArrayRef out = b.longArray("out", 3);
+
+    auto p = b.var("p");
+    auto q = b.var("q");
+    auto d = b.var("d");
+    auto best = b.var("best");
+    auto bestd = b.var("bestd");
+    auto second = b.var("second");
+
+    // Diagonal accumulation.
+    b.forLoop(p, b.constI(0), dlen - kWordLen, [&] {
+        b.line(140);
+        const Value code = b.ld(db, p) * 20 + b.ld(db, p, 1);
+        b.line(141);
+        b.assign(q, b.ld(harr, code));
+        b.whileLoop([&] { return Value(q) != -1; }, [&] {
+            b.line(143);
+            const Value dd = Value(p) - Value(q) + qlen;
+            b.st(diag, dd, b.ld(diag, dd) + 1);
+            b.line(144);
+            b.assign(q, b.ld(link, q));
+        });
+    });
+
+    // Best-diagonal scan (init1).
+    b.assign(best, int64_t(0));
+    b.assign(bestd, int64_t(0));
+    b.assign(second, int64_t(0));
+    b.forLoop(d, b.constI(0), dlen + qlen - 1, [&] {
+        b.line(150);
+        const Value v = b.ld(diag, d);
+        b.ifThenElse(
+            v > best,
+            [&] {
+                b.assign(second, Value(best));
+                b.assign(best, v);
+                b.assign(bestd, Value(d));
+            },
+            [&] {
+                b.ifThen(v > second,
+                         [&] { b.assign(second, v); });
+            });
+    });
+    b.st(out, 0, best);
+    b.st(out, 1, bestd);
+    b.st(out, 2, second);
+    run.kernel = &b.finish();
+    compileKernel(prog, *run.kernel);
+
+    for (const auto &q : state->queries)
+        for (const auto &dseq : state->db)
+            state->expected += referenceScan(q, dseq);
+
+    const ir::Program *prog_p = run.prog.get();
+    ir::Function *kernel = run.kernel;
+    const int32_t db_r = db.region;
+    const int32_t harr_r = harr.region;
+    const int32_t link_r = link.region;
+    const int32_t diag_r = diag.region;
+    const int32_t out_r = out.region;
+
+    run.driver = [=](vm::Interpreter &interp) {
+        auto &st = *state;
+        st.actual = 0;
+        auto put_i32 = [&](int32_t region,
+                           const std::vector<int32_t> &v) {
+            vm::ArrayView<int32_t> view(interp.memory(),
+                                        prog_p->region(region));
+            for (size_t idx = 0; idx < v.size(); idx++)
+                view.set(idx, v[idx]);
+        };
+        vm::ArrayView<int64_t> out_view(interp.memory(),
+                                        prog_p->region(out_r));
+        vm::ArrayView<int32_t> diag_view(interp.memory(),
+                                         prog_p->region(diag_r));
+        vm::ArrayView<int8_t> db_view(interp.memory(),
+                                      prog_p->region(db_r));
+        for (const auto &q : st.queries) {
+            put_i32(harr_r, q.harr);
+            put_i32(link_r, q.link);
+            for (const auto &dseq : st.db) {
+                for (size_t idx = 0; idx < dseq.size(); idx++)
+                    db_view.set(idx, static_cast<int8_t>(dseq[idx]));
+                for (uint64_t idx = 0; idx < diag_view.size(); idx++)
+                    diag_view.set(idx, 0);
+                interp.run(*kernel,
+                           { static_cast<int64_t>(dseq.size()),
+                             static_cast<int64_t>(q.seq.size()) });
+                st.actual += 100000 * out_view.get(0) +
+                             100 * out_view.get(1) + out_view.get(2);
+            }
+        }
+    };
+    run.verify = [state] { return state->actual == state->expected; };
+    return run;
+}
+
+} // namespace bioperf::apps

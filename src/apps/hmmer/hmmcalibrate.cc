@@ -1,0 +1,145 @@
+#include <cmath>
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/hmmer/p7viterbi.h"
+#include "util/rng.h"
+#include "workload/hmm_gen.h"
+#include "workload/sequences.h"
+
+namespace bioperf::apps {
+
+namespace {
+
+struct HmmcalibrateState
+{
+    workload::Plan7Model model;
+    std::vector<std::vector<uint8_t>> random_seqs;
+    int64_t expectedScore = 0;
+    double expectedSum = 0.0;
+    double expectedSumSq = 0.0;
+    int64_t actualScore = 0;
+    double actualSum = 0.0;
+    double actualSumSq = 0.0;
+
+    /** Gumbel (EVD) fit by moment matching, reported by the driver. */
+    double evdLambda = 0.0;
+    double evdMu = 0.0;
+};
+
+} // namespace
+
+/**
+ * hmmcalibrate: scores a profile HMM against synthetic random
+ * sequences to fit the extreme-value distribution its E-values use.
+ * Sequence generation and the final EVD fit are host-side (as they
+ * are a negligible slice of the real program); per-sequence score
+ * statistics accumulate through a small FP kernel, giving the
+ * fraction-of-a-percent FP mix Table 1 reports.
+ */
+AppRun
+makeHmmcalibrate(Variant v, Scale s, uint64_t seed)
+{
+    int32_t model_len = 384;
+    size_t num_seqs = 16;
+    size_t seq_len = 100;
+    switch (s) {
+      case Scale::Small:
+        model_len = 30;
+        num_seqs = 6;
+        seq_len = 50;
+        break;
+      case Scale::Medium:
+        break;
+      case Scale::Large:
+        model_len = 448;
+        num_seqs = 32;
+        seq_len = 140;
+        break;
+    }
+
+    util::Rng rng(seed);
+    auto state = std::make_shared<HmmcalibrateState>();
+    state->model = workload::generateModel(rng, model_len);
+    for (size_t i = 0; i < num_seqs; i++) {
+        state->random_seqs.push_back(workload::randomSequence(
+            rng, seq_len, workload::kProteinAlphabet));
+    }
+
+    AppRun run;
+    run.name = "hmmcalibrate";
+    run.prog = std::make_unique<ir::Program>("hmmcalibrate");
+    const hmmer::ViterbiRegions regions = hmmer::addViterbiRegions(
+        *run.prog, model_len, static_cast<int32_t>(seq_len));
+    const int32_t stats_region = run.prog->addRegion("evd_stats", 8, 2);
+    run.kernel = &hmmer::buildP7Viterbi(*run.prog, regions, v);
+
+    // FP accumulation kernel: sum and sum-of-squares of the scaled
+    // scores, as the EVD fit consumes them.
+    ir::Function *accum = nullptr;
+    {
+        ir::FunctionBuilder b(*run.prog, "AccumulateStats",
+                              "histogram.c");
+        const ir::Value score = b.param("score");
+        const ir::ArrayRef stats = b.wrap(stats_region);
+        const ir::FValue fs = b.fcvt(score) * b.constF(0.001);
+        b.fst(stats, 0, b.fld(stats, 0) + fs);
+        b.fst(stats, 1, b.fld(stats, 1) + fs * fs);
+        accum = &b.finish();
+    }
+
+    compileKernel(*run.prog, *run.kernel);
+    compileKernel(*run.prog, *accum);
+
+    for (const auto &q : state->random_seqs) {
+        const int64_t sc = hmmer::referenceViterbi(state->model, q);
+        state->expectedScore += sc;
+        const double fs = static_cast<double>(sc) * 0.001;
+        state->expectedSum += fs;
+        state->expectedSumSq += fs * fs;
+    }
+
+    const ir::Program *prog = run.prog.get();
+    ir::Function *kernel = run.kernel;
+    run.driver = [state, prog, kernel, accum, regions,
+                  stats_region](vm::Interpreter &interp) {
+        state->actualScore = 0;
+        vm::ArrayView<double> stats_view(interp.memory(),
+                                         prog->region(stats_region));
+        stats_view.set(0, 0.0);
+        stats_view.set(1, 0.0);
+
+        hmmer::uploadModel(interp, *prog, regions, state->model);
+        for (const auto &q : state->random_seqs) {
+            hmmer::resetRows(interp, *prog, regions);
+            hmmer::uploadSequence(interp, *prog, regions, q);
+            interp.run(*kernel,
+                       hmmer::viterbiParams(
+                           state->model,
+                           static_cast<int64_t>(q.size())));
+            const int64_t sc =
+                hmmer::readScore(interp, *prog, regions);
+            state->actualScore += sc;
+            interp.run(*accum, { sc });
+        }
+        state->actualSum = stats_view.get(0);
+        state->actualSumSq = stats_view.get(1);
+
+        // Host-side Gumbel fit from the accumulated moments.
+        const double n = static_cast<double>(state->random_seqs.size());
+        const double mean = state->actualSum / n;
+        const double var =
+            state->actualSumSq / n - mean * mean;
+        const double sd = var > 0 ? std::sqrt(var) : 1e-9;
+        state->evdLambda = M_PI / (sd * std::sqrt(6.0));
+        state->evdMu = mean - 0.57722 / state->evdLambda;
+    };
+    run.verify = [state] {
+        return state->actualScore == state->expectedScore &&
+               state->actualSum == state->expectedSum &&
+               state->actualSumSq == state->expectedSumSq;
+    };
+    return run;
+}
+
+} // namespace bioperf::apps

@@ -1,0 +1,101 @@
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/hmmer/p7viterbi.h"
+#include "util/rng.h"
+#include "workload/hmm_gen.h"
+#include "workload/sequences.h"
+
+namespace bioperf::apps {
+
+namespace {
+
+struct HmmsearchState
+{
+    workload::Plan7Model model;
+    std::vector<std::vector<uint8_t>> db;
+    int64_t expected = 0;
+    int64_t actual = 0;
+};
+
+} // namespace
+
+/**
+ * hmmsearch: one profile HMM scanned against a sequence database.
+ * The workload mixes model-emitted homologs with unrelated random
+ * sequences, so scores (and the branch behaviour of the score
+ * comparisons) vary across the database like in the real runs.
+ */
+AppRun
+makeHmmsearch(Variant v, Scale s, uint64_t seed)
+{
+    // Medium model length is sized so the model tables plus DP rows
+    // slightly exceed the 64 KB L1 (Table 2's L2-hit behaviour).
+    int32_t model_len = 384;
+    size_t num_seqs = 12;
+    size_t mean_len = 110;
+    switch (s) {
+      case Scale::Small:
+        model_len = 32;
+        num_seqs = 5;
+        mean_len = 60;
+        break;
+      case Scale::Medium:
+        break;
+      case Scale::Large:
+        model_len = 448;
+        num_seqs = 26;
+        mean_len = 160;
+        break;
+    }
+
+    util::Rng rng(seed);
+    auto state = std::make_shared<HmmsearchState>();
+    state->model = workload::generateModel(rng, model_len);
+    for (size_t i = 0; i < num_seqs; i++) {
+        if (rng.nextBool(0.35)) {
+            state->db.push_back(
+                workload::emitFromModel(rng, state->model));
+        } else {
+            const size_t len =
+                mean_len / 2 + rng.nextBelow(mean_len);
+            state->db.push_back(workload::randomSequence(
+                rng, len, workload::kProteinAlphabet));
+        }
+    }
+
+    size_t max_len = 1;
+    for (const auto &q : state->db)
+        max_len = std::max(max_len, q.size());
+
+    AppRun run;
+    run.name = "hmmsearch";
+    run.prog = std::make_unique<ir::Program>("hmmsearch");
+    const hmmer::ViterbiRegions regions = hmmer::addViterbiRegions(
+        *run.prog, model_len, static_cast<int32_t>(max_len));
+    run.kernel = &hmmer::buildP7Viterbi(*run.prog, regions, v);
+    compileKernel(*run.prog, *run.kernel);
+
+    for (const auto &q : state->db)
+        state->expected += hmmer::referenceViterbi(state->model, q);
+
+    const ir::Program *prog = run.prog.get();
+    ir::Function *kernel = run.kernel;
+    run.driver = [state, prog, kernel, regions](vm::Interpreter &interp) {
+        state->actual = 0;
+        hmmer::uploadModel(interp, *prog, regions, state->model);
+        for (const auto &q : state->db) {
+            hmmer::resetRows(interp, *prog, regions);
+            hmmer::uploadSequence(interp, *prog, regions, q);
+            interp.run(*kernel,
+                       hmmer::viterbiParams(
+                           state->model,
+                           static_cast<int64_t>(q.size())));
+            state->actual += hmmer::readScore(interp, *prog, regions);
+        }
+    };
+    run.verify = [state] { return state->actual == state->expected; };
+    return run;
+}
+
+} // namespace bioperf::apps

@@ -1,0 +1,481 @@
+#include "apps/hmmer/p7viterbi.h"
+
+#include <cassert>
+
+#include "vm/memory.h"
+
+namespace bioperf::apps::hmmer {
+
+using ir::ArrayRef;
+using ir::FunctionBuilder;
+using ir::Value;
+using workload::Plan7Model;
+
+namespace {
+
+constexpr int64_t kNegInf = Plan7Model::kNegInf;
+
+} // namespace
+
+ViterbiRegions
+addViterbiRegions(ir::Program &prog, int32_t max_m, int32_t max_l)
+{
+    ViterbiRegions r;
+    r.maxM = max_m;
+    r.maxL = max_l;
+    const uint64_t n = static_cast<uint64_t>(max_m) + 1;
+    r.seq = prog.addRegion("seq", 1, static_cast<uint64_t>(max_l) + 2);
+    r.msc = prog.addRegion("msc", 4, n * 20);
+    r.isc = prog.addRegion("isc", 4, n * 20);
+    r.tpmm = prog.addRegion("tpmm", 4, n);
+    r.tpim = prog.addRegion("tpim", 4, n);
+    r.tpdm = prog.addRegion("tpdm", 4, n);
+    r.tpmi = prog.addRegion("tpmi", 4, n);
+    r.tpii = prog.addRegion("tpii", 4, n);
+    r.tpdd = prog.addRegion("tpdd", 4, n);
+    r.tpmd = prog.addRegion("tpmd", 4, n);
+    r.bp = prog.addRegion("bp", 4, n);
+    r.ep = prog.addRegion("ep", 4, n);
+    r.mrow0 = prog.addRegion("mrow0", 4, n);
+    r.mrow1 = prog.addRegion("mrow1", 4, n);
+    r.irow0 = prog.addRegion("irow0", 4, n);
+    r.irow1 = prog.addRegion("irow1", 4, n);
+    r.drow0 = prog.addRegion("drow0", 4, n);
+    r.drow1 = prog.addRegion("drow1", 4, n);
+    r.out = prog.addRegion("score_out", 8, 2);
+    r.xt = prog.addRegion("hmm_xt", 4, 6);
+    return r;
+}
+
+ir::Function &
+buildP7Viterbi(ir::Program &prog, const ViterbiRegions &r, Variant variant,
+               const std::string &fn_name)
+{
+    FunctionBuilder b(prog, fn_name, "fast_algorithms.c");
+
+    const Value l = b.param("L");
+    const Value m = b.param("M");
+
+    const ArrayRef seq = b.wrap(r.seq);
+    const ArrayRef msc = b.wrap(r.msc);
+    const ArrayRef isc = b.wrap(r.isc);
+    const ArrayRef tpmm = b.wrap(r.tpmm);
+    const ArrayRef tpim = b.wrap(r.tpim);
+    const ArrayRef tpdm = b.wrap(r.tpdm);
+    const ArrayRef tpmi = b.wrap(r.tpmi);
+    const ArrayRef tpii = b.wrap(r.tpii);
+    const ArrayRef tpdd = b.wrap(r.tpdd);
+    const ArrayRef tpmd = b.wrap(r.tpmd);
+    const ArrayRef bp = b.wrap(r.bp);
+    const ArrayRef ep = b.wrap(r.ep);
+    const ArrayRef out = b.wrap(r.out);
+    const ArrayRef xt = b.wrap(r.xt);
+    const ArrayRef rows[6] = {
+        b.wrap(r.mrow0), b.wrap(r.irow0), b.wrap(r.drow0),
+        b.wrap(r.mrow1), b.wrap(r.irow1), b.wrap(r.drow1),
+    };
+
+    auto xmn = b.var("xmn");
+    auto xmb = b.var("xmb");
+    auto xmc = b.var("xmc");
+    auto xme = b.var("xme");
+    auto parity = b.var("parity");
+    auto moff = b.var("moff");
+    auto i = b.var("i");
+    auto k = b.var("k");
+
+    b.assign(xmn, static_cast<int64_t>(0));
+    b.assign(xmb, b.ld(xt, 0)); // xmn(0) + tnb
+    b.assign(xmc, kNegInf);
+    b.assign(parity, static_cast<int64_t>(0));
+
+    const Value n_val = m + 1;
+
+    /**
+     * Emits one DP row in the Figure 6(a) baseline shape: per-IF
+     * stores with tight load-to-branch chains.
+     */
+    auto emit_row_baseline = [&](const ArrayRef &mpp, const ArrayRef &ip,
+                                 const ArrayRef &dpp, const ArrayRef &mc,
+                                 const ArrayRef &ic, const ArrayRef &dc) {
+        {
+            const Value ninf = b.constI(kNegInf);
+            b.st(mc, 0, ninf);
+            b.st(dc, 0, ninf);
+            b.st(ic, 0, ninf);
+        }
+        b.forLoop(k, b.constI(1), m, [&] {
+            const Value km1 = Value(k) - 1;
+            auto mck = b.var("mck");
+
+            // Box 1 (lines 132-137 of fast_algorithms.c).
+            b.line(132);
+            b.assign(mck, b.ld(mpp, km1) + b.ld(tpmm, km1));
+            b.st(mc, k, mck);
+            b.line(133);
+            {
+                const Value sc = b.ld(ip, km1) + b.ld(tpim, km1);
+                b.ifThen(sc > mck, [&] {
+                    b.st(mc, k, sc);
+                    b.assign(mck, sc);
+                });
+            }
+            b.line(134);
+            {
+                const Value sc = b.ld(dpp, km1) + b.ld(tpdm, km1);
+                b.ifThen(sc > mck, [&] {
+                    b.st(mc, k, sc);
+                    b.assign(mck, sc);
+                });
+            }
+            b.line(135);
+            {
+                const Value sc = Value(xmb) + b.ld(bp, k);
+                b.ifThen(sc > mck, [&] {
+                    b.st(mc, k, sc);
+                    b.assign(mck, sc);
+                });
+            }
+            b.line(136);
+            b.assign(mck, Value(mck) + b.ld(msc, Value(moff) + k));
+            b.st(mc, k, mck);
+            b.line(137);
+            b.ifThen(Value(mck) < kNegInf, [&] {
+                b.assign(mck, kNegInf);
+                b.st(mc, k, mck);
+            });
+
+            // Box 2 (lines 139-141).
+            auto dck = b.var("dck");
+            b.line(139);
+            b.assign(dck, b.ld(dc, km1) + b.ld(tpdd, km1));
+            b.st(dc, k, dck);
+            b.line(140);
+            {
+                const Value sc = b.ld(mc, km1) + b.ld(tpmd, km1);
+                b.ifThen(sc > dck, [&] {
+                    b.st(dc, k, sc);
+                    b.assign(dck, sc);
+                });
+            }
+            b.line(141);
+            b.ifThen(Value(dck) < kNegInf, [&] {
+                b.assign(dck, kNegInf);
+                b.st(dc, k, dck);
+            });
+
+            // Box 3 (lines 143-147), guarded by k < M.
+            b.line(143);
+            b.ifThen(Value(k) < m, [&] {
+                auto ick = b.var("ick");
+                b.line(144);
+                b.assign(ick, b.ld(mpp, k) + b.ld(tpmi, k));
+                b.st(ic, k, ick);
+                b.line(145);
+                {
+                    const Value sc = b.ld(ip, k) + b.ld(tpii, k);
+                    b.ifThen(sc > ick, [&] {
+                        b.st(ic, k, sc);
+                        b.assign(ick, sc);
+                    });
+                }
+                b.line(146);
+                b.assign(ick, Value(ick) + b.ld(isc, Value(moff) + k));
+                b.st(ic, k, ick);
+                b.line(147);
+                b.ifThen(Value(ick) < kNegInf, [&] {
+                    b.assign(ick, kNegInf);
+                    b.st(ic, k, ick);
+                });
+            });
+        });
+    };
+
+    /**
+     * Emits the boxes-1-and-2 body of the Figure 6(c) transformed
+     * code for one k, with or without box 3 (the epilogue iteration
+     * duplicates boxes 1-2 only).
+     */
+    auto emit_transformed_iter = [&](const ArrayRef &mpp,
+                                     const ArrayRef &ip,
+                                     const ArrayRef &dpp,
+                                     const ArrayRef &mc,
+                                     const ArrayRef &ic,
+                                     const ArrayRef &dc,
+                                     const Value &kv, bool with_box3) {
+        const Value km1 = kv - 1;
+
+        // All loads grouped at the top (boxes 1.1, 2.1, 3.1).
+        b.line(132);
+        auto temp1 = b.var("temp1");
+        b.assign(temp1, b.ld(mpp, km1) + b.ld(tpmm, km1));
+        b.line(133);
+        const Value temp2 = b.ld(ip, km1) + b.ld(tpim, km1);
+        b.line(134);
+        const Value temp3 = b.ld(dpp, km1) + b.ld(tpdm, km1);
+        b.line(135);
+        const Value temp4 = Value(xmb) + b.ld(bp, kv);
+        b.line(139);
+        auto temp5 = b.var("temp5");
+        b.assign(temp5, b.ld(dc, km1) + b.ld(tpdd, km1));
+        b.line(140);
+        const Value temp6 = b.ld(mc, km1) + b.ld(tpmd, km1);
+        auto temp7 = b.var("temp7");
+        Value temp8;
+        if (with_box3) {
+            b.line(144);
+            b.assign(temp7, b.ld(mpp, kv) + b.ld(tpmi, kv));
+            b.line(145);
+            temp8 = b.ld(ip, kv) + b.ld(tpii, kv);
+        }
+
+        // Register-only maxima (boxes 1.2, 2.2, 3.2): the compiler
+        // pipeline if-converts these into conditional moves.
+        b.ifThen(temp2 > temp1, [&] { b.assign(temp1, temp2); });
+        b.ifThen(temp3 > temp1, [&] { b.assign(temp1, temp3); });
+        b.ifThen(temp4 > temp1, [&] { b.assign(temp1, temp4); });
+        b.ifThen(temp6 > temp5, [&] { b.assign(temp5, temp6); });
+        if (with_box3)
+            b.ifThen(temp8 > temp7, [&] { b.assign(temp7, temp8); });
+
+        // Single final stores (boxes 1.3, 2.3, 3.3).
+        b.line(136);
+        auto mcv = b.var("mcv");
+        b.assign(mcv, b.ld(msc, Value(moff) + kv) + temp1);
+        b.line(137);
+        b.ifThen(Value(mcv) < kNegInf, [&] { b.assign(mcv, kNegInf); });
+        b.st(mc, kv, mcv);
+        b.line(141);
+        b.ifThen(Value(temp5) < kNegInf,
+                 [&] { b.assign(temp5, kNegInf); });
+        b.st(dc, kv, temp5);
+        if (with_box3) {
+            b.line(146);
+            auto icv = b.var("icv");
+            b.assign(icv, b.ld(isc, Value(moff) + kv) + temp7);
+            b.line(147);
+            b.ifThen(Value(icv) < kNegInf,
+                     [&] { b.assign(icv, kNegInf); });
+            b.st(ic, kv, icv);
+        }
+    };
+
+    auto emit_row_transformed = [&](const ArrayRef &mpp,
+                                    const ArrayRef &ip,
+                                    const ArrayRef &dpp,
+                                    const ArrayRef &mc,
+                                    const ArrayRef &ic,
+                                    const ArrayRef &dc) {
+        {
+            const Value ninf = b.constI(kNegInf);
+            b.st(mc, 0, ninf);
+            b.st(dc, 0, ninf);
+            b.st(ic, 0, ninf);
+        }
+        // Loop shortened by one; box 3 runs unguarded (Figure 6(c)).
+        b.forLoop(k, b.constI(1), m - 1, [&] {
+            emit_transformed_iter(mpp, ip, dpp, mc, ic, dc, k, true);
+        });
+        // Duplicated boxes 1-2 for k = M, after the loop exit.
+        emit_transformed_iter(mpp, ip, dpp, mc, ic, dc, m, false);
+    };
+
+    auto emit_row = [&](int from) {
+        const ArrayRef &mpp = rows[from * 3 + 0];
+        const ArrayRef &ip = rows[from * 3 + 1];
+        const ArrayRef &dpp = rows[from * 3 + 2];
+        const ArrayRef &mc = rows[(1 - from) * 3 + 0];
+        const ArrayRef &ic = rows[(1 - from) * 3 + 1];
+        const ArrayRef &dc = rows[(1 - from) * 3 + 2];
+        if (variant == Variant::Baseline)
+            emit_row_baseline(mpp, ip, dpp, mc, ic, dc);
+        else
+            emit_row_transformed(mpp, ip, dpp, mc, ic, dc);
+
+        // E state: fold the finished match row (line 152).
+        b.line(152);
+        b.assign(xme, kNegInf);
+        b.forLoop(k, b.constI(1), m, [&] {
+            const Value v = b.ld(mc, k) + b.ld(ep, k);
+            b.ifThen(v > xme, [&] { b.assign(xme, v); });
+        });
+    };
+
+    // Main loop over the sequence.
+    b.forLoop(i, b.constI(1), l, [&] {
+        b.line(128);
+        const Value res = b.ld(seq, i);
+        b.assign(moff, res * n_val);
+
+        b.ifThenElse(Value(parity) == 0, [&] { emit_row(0); },
+                     [&] { emit_row(1); });
+
+        // Special states N, C, B (lines 155-158). The transition
+        // scores live in the tiny xt region; reloading them per row
+        // keeps their registers short-lived, like compiled code.
+        b.line(155);
+        b.assign(xmn, Value(xmn) + b.ld(xt, 1)); // tnloop
+        b.line(156);
+        b.assign(xmc, Value(xmc) + b.ld(xt, 4)); // tcloop
+        {
+            const Value sc = Value(xme) + b.ld(xt, 3); // tec
+            b.ifThen(sc > xmc, [&] { b.assign(xmc, sc); });
+        }
+        b.line(157);
+        b.assign(xmb, Value(xmn) + b.ld(xt, 0)); // tnb
+        {
+            const Value sc = Value(xme) + b.ld(xt, 2); // tej
+            b.ifThen(sc > xmb, [&] { b.assign(xmb, sc); });
+        }
+        b.line(158);
+        b.assign(parity, Value(parity) ^ 1);
+    });
+
+    // Final score through C -> T.
+    const Value score = Value(xmc) + b.ld(xt, 5); // tct
+    b.st(out, 0, score);
+    b.st(out, 1, Value(xme));
+    return b.finish();
+}
+
+void
+uploadModel(vm::Interpreter &interp, const ir::Program &prog,
+            const ViterbiRegions &r, const Plan7Model &model)
+{
+    assert(model.M <= r.maxM);
+    auto put = [&](int32_t region, const std::vector<int32_t> &v) {
+        vm::ArrayView<int32_t> view(interp.memory(), prog.region(region));
+        assert(v.size() <= view.size());
+        for (size_t idx = 0; idx < v.size(); idx++)
+            view.set(idx, v[idx]);
+    };
+    put(r.msc, model.msc);
+    put(r.isc, model.isc);
+    put(r.tpmm, model.tpmm);
+    put(r.tpim, model.tpim);
+    put(r.tpdm, model.tpdm);
+    put(r.tpmi, model.tpmi);
+    put(r.tpii, model.tpii);
+    put(r.tpdd, model.tpdd);
+    put(r.tpmd, model.tpmd);
+    put(r.bp, model.bp);
+    put(r.ep, model.ep);
+    put(r.xt, { model.tnb, model.tnloop, model.tej, model.tec,
+                model.tcloop, model.tct });
+}
+
+void
+uploadSequence(vm::Interpreter &interp, const ir::Program &prog,
+               const ViterbiRegions &r, const std::vector<uint8_t> &seq)
+{
+    assert(seq.size() <= static_cast<size_t>(r.maxL));
+    vm::ArrayView<int8_t> view(interp.memory(), prog.region(r.seq));
+    for (size_t idx = 0; idx < seq.size(); idx++)
+        view.set(idx + 1, static_cast<int8_t>(seq[idx]));
+}
+
+void
+resetRows(vm::Interpreter &interp, const ir::Program &prog,
+          const ViterbiRegions &r)
+{
+    for (int32_t region : { r.mrow0, r.irow0, r.drow0, r.mrow1, r.irow1,
+                            r.drow1 }) {
+        vm::ArrayView<int32_t> view(interp.memory(),
+                                    prog.region(region));
+        for (uint64_t idx = 0; idx < view.size(); idx++)
+            view.set(idx, static_cast<int32_t>(kNegInf));
+    }
+}
+
+std::vector<int64_t>
+viterbiParams(const Plan7Model &model, int64_t seq_len)
+{
+    return { seq_len, model.M };
+}
+
+int64_t
+readScore(vm::Interpreter &interp, const ir::Program &prog,
+          const ViterbiRegions &r)
+{
+    vm::ArrayView<int64_t> view(interp.memory(), prog.region(r.out));
+    return view.get(0);
+}
+
+int64_t
+referenceViterbi(const Plan7Model &model, const std::vector<uint8_t> &seq)
+{
+    const int32_t m = model.M;
+    const size_t n = static_cast<size_t>(m) + 1;
+    std::vector<int32_t> mpp(n, kNegInf), ip(n, kNegInf),
+        dpp(n, kNegInf);
+    std::vector<int32_t> mc(n, 0), ic(n, 0), dc(n, 0);
+
+    int64_t xmn = 0;
+    int64_t xmb = model.tnb;
+    int64_t xmc = kNegInf;
+    int64_t xme = kNegInf;
+
+    for (size_t pos = 0; pos < seq.size(); pos++) {
+        const size_t moff = static_cast<size_t>(seq[pos]) * n;
+        mc[0] = dc[0] = ic[0] = static_cast<int32_t>(kNegInf);
+        for (int32_t kk = 1; kk <= m; kk++) {
+            int64_t mck =
+                int64_t(mpp[kk - 1]) + model.tpmm[kk - 1];
+            int64_t sc = int64_t(ip[kk - 1]) + model.tpim[kk - 1];
+            if (sc > mck)
+                mck = sc;
+            sc = int64_t(dpp[kk - 1]) + model.tpdm[kk - 1];
+            if (sc > mck)
+                mck = sc;
+            sc = xmb + model.bp[kk];
+            if (sc > mck)
+                mck = sc;
+            mck += model.msc[moff + kk];
+            if (mck < kNegInf)
+                mck = kNegInf;
+            mc[kk] = static_cast<int32_t>(mck);
+
+            int64_t dck = int64_t(dc[kk - 1]) + model.tpdd[kk - 1];
+            sc = int64_t(mc[kk - 1]) + model.tpmd[kk - 1];
+            if (sc > dck)
+                dck = sc;
+            if (dck < kNegInf)
+                dck = kNegInf;
+            dc[kk] = static_cast<int32_t>(dck);
+
+            if (kk < m) {
+                int64_t ick =
+                    int64_t(mpp[kk]) + model.tpmi[kk];
+                sc = int64_t(ip[kk]) + model.tpii[kk];
+                if (sc > ick)
+                    ick = sc;
+                ick += model.isc[moff + kk];
+                if (ick < kNegInf)
+                    ick = kNegInf;
+                ic[kk] = static_cast<int32_t>(ick);
+            }
+        }
+
+        xme = kNegInf;
+        for (int32_t kk = 1; kk <= m; kk++) {
+            const int64_t v = int64_t(mc[kk]) + model.ep[kk];
+            if (v > xme)
+                xme = v;
+        }
+
+        xmn += model.tnloop;
+        xmc += model.tcloop;
+        if (xme + model.tec > xmc)
+            xmc = xme + model.tec;
+        xmb = xmn + model.tnb;
+        if (xme + model.tej > xmb)
+            xmb = xme + model.tej;
+
+        mpp.swap(mc);
+        ip.swap(ic);
+        dpp.swap(dc);
+    }
+    return xmc + model.tct;
+}
+
+} // namespace bioperf::apps::hmmer

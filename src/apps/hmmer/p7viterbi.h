@@ -1,0 +1,100 @@
+#ifndef BIOPERF_APPS_HMMER_P7VITERBI_H_
+#define BIOPERF_APPS_HMMER_P7VITERBI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.h"
+#include "ir/builder.h"
+#include "vm/interpreter.h"
+#include "workload/hmm_gen.h"
+
+namespace bioperf::apps::hmmer {
+
+/**
+ * The P7Viterbi dynamic-programming core shared by hmmsearch, hmmpfam
+ * and hmmcalibrate — the paper's running example (Figures 3-7,
+ * Table 5).
+ *
+ * The kernel is a Plan7 Viterbi over integer log-odds scores with
+ * match/insert/delete rows, begin/end transitions and the N/B/E/C
+ * special states. Row buffers are double-buffered as six distinct
+ * regions (mrow0/1, irow0/1, drow0/1) with an explicit parity branch,
+ * which preserves the source-level alias identities ("a store to mc
+ * can never alias dpp") that the transformation depends on.
+ *
+ * Variant::Baseline reproduces the Figure 6(a) loop: per-IF stores
+ * into mc/dc/ic guarded by involved conditions — tight load-compare-
+ * branch-store chains.
+ *
+ * Variant::Transformed reproduces Figures 6(b)/(c): all loads grouped
+ * at the top of the iteration into temporaries, register-only maxima
+ * (which the compiler pipeline if-converts to conditional moves),
+ * single final stores, the box-3 guard removed by shortening the loop
+ * and duplicating boxes 1-2 after the exit.
+ */
+struct ViterbiRegions
+{
+    int32_t seq = -1;
+    int32_t msc = -1, isc = -1;
+    int32_t tpmm = -1, tpim = -1, tpdm = -1, tpmi = -1, tpii = -1,
+            tpdd = -1, tpmd = -1;
+    int32_t bp = -1, ep = -1;
+    int32_t mrow0 = -1, mrow1 = -1;
+    int32_t irow0 = -1, irow1 = -1;
+    int32_t drow0 = -1, drow1 = -1;
+    int32_t out = -1;
+    /** Special-state transitions [tnb, tnloop, tej, tec, tcloop, tct]. */
+    int32_t xt = -1;
+    int32_t maxM = 0;
+    int32_t maxL = 0;
+};
+
+/** Creates all regions the kernel needs, sized for maxM/maxL. */
+ViterbiRegions addViterbiRegions(ir::Program &prog, int32_t max_m,
+                                 int32_t max_l);
+
+/**
+ * Builds the kernel function. Parameters, in order: L, M. The
+ * special-state transitions travel through the xt region (loaded
+ * once per row), keeping the kernel's register pressure close to the
+ * real compiled code's.
+ */
+ir::Function &buildP7Viterbi(ir::Program &prog, const ViterbiRegions &r,
+                             Variant variant,
+                             const std::string &fn_name = "P7Viterbi");
+
+/** Writes the model's score arrays into the kernel's regions. */
+void uploadModel(vm::Interpreter &interp, const ir::Program &prog,
+                 const ViterbiRegions &r,
+                 const workload::Plan7Model &model);
+
+/** Writes a 1-indexed digitized sequence (seq[1..L]). */
+void uploadSequence(vm::Interpreter &interp, const ir::Program &prog,
+                    const ViterbiRegions &r,
+                    const std::vector<uint8_t> &seq);
+
+/** Re-initializes the row-0 DP buffers to -INFTY (pre-run state). */
+void resetRows(vm::Interpreter &interp, const ir::Program &prog,
+               const ViterbiRegions &r);
+
+/** The kernel's parameter vector for this model and length. */
+std::vector<int64_t> viterbiParams(const workload::Plan7Model &model,
+                                   int64_t seq_len);
+
+/** Reads the final score from the out region after a run. */
+int64_t readScore(vm::Interpreter &interp, const ir::Program &prog,
+                  const ViterbiRegions &r);
+
+/**
+ * Host-language golden model: bit-exact reimplementation of the
+ * kernel's semantics (same clamps, same row recurrences, same special
+ * states). Used by every hmmer app's verify step and the
+ * baseline/transformed equivalence property tests.
+ */
+int64_t referenceViterbi(const workload::Plan7Model &model,
+                         const std::vector<uint8_t> &seq);
+
+} // namespace bioperf::apps::hmmer
+
+#endif // BIOPERF_APPS_HMMER_P7VITERBI_H_

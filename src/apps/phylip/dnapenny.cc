@@ -1,0 +1,365 @@
+#include <functional>
+#include <memory>
+
+#include "apps/app.h"
+#include "ir/builder.h"
+#include "util/rng.h"
+#include "vm/memory.h"
+#include "workload/parsimony_gen.h"
+
+namespace bioperf::apps {
+
+namespace {
+
+using ir::ArrayRef;
+using ir::FunctionBuilder;
+using ir::Value;
+
+/** A rooted topology in kernel-ready postorder array form. */
+struct Topology
+{
+    std::vector<int32_t> order; ///< internal node ids, postorder
+    std::vector<int32_t> left, right;
+};
+
+struct DnapennyState
+{
+    workload::CharacterMatrix chars;
+    std::vector<Topology> evals; ///< the B&B evaluation sequence
+    std::vector<int64_t> bounds; ///< bound used at each evaluation
+    int64_t expected = 0;
+    int64_t actual = 0;
+};
+
+/**
+ * Host golden model of the Fitch evaluation kernel, including the
+ * per-node bound check and early exit.
+ */
+int64_t
+referenceFitch(const workload::CharacterMatrix &chars, const Topology &t,
+               std::vector<int32_t> &states, int64_t bound)
+{
+    const int32_t c = chars.numSites;
+    int64_t steps = 0;
+    for (size_t idx = 0; idx < t.order.size(); idx++) {
+        const int64_t noff = int64_t(t.order[idx]) * c;
+        const int64_t loff = int64_t(t.left[idx]) * c;
+        const int64_t roff = int64_t(t.right[idx]) * c;
+        for (int32_t site = 0; site < c; site++) {
+            const int32_t a = states[loff + site];
+            const int32_t b = states[roff + site];
+            const int32_t inter = a & b;
+            if (inter == 0) {
+                states[noff + site] = a | b;
+                steps++;
+            } else {
+                states[noff + site] = inter;
+            }
+        }
+        if (steps > bound)
+            break;
+    }
+    return steps;
+}
+
+/**
+ * Enumerates the branch-and-bound search: species added one at a
+ * time on every existing edge, partial trees scored and pruned
+ * against the best complete score so far. Evaluation order and the
+ * bounds in effect are recorded so the kernel replays the identical
+ * sequence.
+ */
+void
+planSearch(DnapennyState &st, size_t max_evals)
+{
+    const int32_t s = st.chars.numSpecies;
+    const int32_t c = st.chars.numSites;
+
+    // Tree as child arrays; leaves are [0, s), internal [s, 2s-1).
+    std::vector<int32_t> left(2 * s - 1, -1), right(2 * s - 1, -1);
+    std::vector<int32_t> scratch(
+        static_cast<size_t>(2 * s - 1) * c, 0);
+    for (int32_t sp = 0; sp < s; sp++)
+        for (int32_t site = 0; site < c; site++)
+            scratch[int64_t(sp) * c + site] =
+                st.chars.states[int64_t(sp) * c + site];
+
+    int64_t best = INT64_MAX;
+
+    auto make_topology = [&](int32_t root) {
+        Topology t;
+        // Postorder DFS.
+        std::function<void(int32_t)> dfs = [&](int32_t node) {
+            if (node < s)
+                return;
+            dfs(left[node]);
+            dfs(right[node]);
+            t.order.push_back(node);
+            t.left.push_back(left[node]);
+            t.right.push_back(right[node]);
+        };
+        dfs(root);
+        return t;
+    };
+
+    // Recursive insertion: next species tried on every edge of the
+    // current tree (including above the root).
+    std::function<void(int32_t, int32_t)> recurse =
+        [&](int32_t next_species, int32_t root) {
+        if (st.evals.size() >= max_evals)
+            return;
+
+        const Topology topo = make_topology(root);
+        const int64_t bound = best == INT64_MAX ? INT64_MAX / 2 : best;
+        st.evals.push_back(topo);
+        st.bounds.push_back(bound);
+        const int64_t score =
+            referenceFitch(st.chars, topo, scratch, bound);
+        st.expected += score;
+        if (score > bound)
+            return; // pruned
+
+        if (next_species == s) {
+            if (score < best)
+                best = score;
+            return;
+        }
+
+        // Collect the current tree's nodes (edges are node->parent).
+        std::vector<int32_t> nodes;
+        std::function<void(int32_t)> collect = [&](int32_t node) {
+            nodes.push_back(node);
+            if (node >= s) {
+                collect(left[node]);
+                collect(right[node]);
+            }
+        };
+        collect(root);
+
+        const int32_t w = s + next_species - 1; // fresh internal id
+        for (int32_t u : nodes) {
+            if (st.evals.size() >= max_evals)
+                return;
+            // Splice w above u: w's children are u and the new leaf.
+            left[w] = u;
+            right[w] = next_species;
+            if (u == root) {
+                recurse(next_species + 1, w);
+            } else {
+                // Find u's parent and swing the child pointer.
+                int32_t parent = -1;
+                bool was_left = false;
+                for (int32_t x = s; x < 2 * s - 1; x++) {
+                    if (left[x] == u && x != w) {
+                        parent = x;
+                        was_left = true;
+                        break;
+                    }
+                    if (right[x] == u && x != w) {
+                        parent = x;
+                        was_left = false;
+                        break;
+                    }
+                }
+                if (parent < 0)
+                    continue;
+                if (was_left)
+                    left[parent] = w;
+                else
+                    right[parent] = w;
+                recurse(next_species + 1, root);
+                if (was_left)
+                    left[parent] = u;
+                else
+                    right[parent] = u;
+            }
+            left[w] = right[w] = -1;
+        }
+    };
+
+    // Start from the two-species tree rooted at internal node s.
+    left[s] = 0;
+    right[s] = 1;
+    recurse(2, s);
+}
+
+} // namespace
+
+/**
+ * dnapenny: branch-and-bound maximum parsimony (PHYLIP's penny
+ * algorithm for DNA). The kernel is the Fitch set-intersection count
+ * over the tree's internal nodes — `(a & b) == 0` is decided by the
+ * character data, making the guard branch data-dependent and hard to
+ * predict, with the state stores sitting in both arms.
+ *
+ * Transformed (Table 6: three loads, ~10 lines): both child states
+ * are loaded unconditionally at the top, intersection and union both
+ * computed, the store operand picked with a conditional expression
+ * and the step count incremented by the comparison result — the
+ * classic branchless rewrite of Fitch counting.
+ */
+AppRun
+makeDnapenny(Variant v, Scale s, uint64_t seed)
+{
+    int32_t species = 9, sites = 64;
+    size_t max_evals = 260;
+    switch (s) {
+      case Scale::Small:
+        species = 6;
+        sites = 24;
+        max_evals = 40;
+        break;
+      case Scale::Medium:
+        break;
+      case Scale::Large:
+        species = 10;
+        sites = 96;
+        max_evals = 500;
+        break;
+    }
+
+    util::Rng rng(seed);
+    auto state = std::make_shared<DnapennyState>();
+    state->chars = workload::generateCharacters(rng, species, sites);
+    planSearch(*state, max_evals);
+
+    AppRun run;
+    run.name = "dnapenny";
+    run.prog = std::make_unique<ir::Program>("dnapenny");
+    ir::Program &prog = *run.prog;
+
+    const int32_t num_nodes = 2 * species - 1;
+    const size_t max_internal = static_cast<size_t>(species) - 1;
+
+    FunctionBuilder b(prog, "evaluate", "dnapenny.c");
+    const Value num_internal = b.param("num_internal");
+    const Value c_v = b.param("C");
+    const Value bound = b.param("bound");
+
+    const ArrayRef order = b.intArray("order", max_internal);
+    const ArrayRef left_a = b.intArray("left", max_internal);
+    const ArrayRef right_a = b.intArray("right", max_internal);
+    const ArrayRef states = b.intArray(
+        "states", static_cast<uint64_t>(num_nodes) * sites);
+    const ArrayRef out = b.longArray("steps_out", 1);
+
+    auto steps = b.var("steps");
+    auto t = b.var("t");
+    auto site = b.var("site");
+
+    b.assign(steps, int64_t(0));
+    b.forLoop(t, b.constI(0), num_internal - 1, [&] {
+        const Value noff = b.ld(order, t) * c_v;
+        const Value loff = b.ld(left_a, t) * c_v;
+        const Value roff = b.ld(right_a, t) * c_v;
+        if (v == Variant::Baseline) {
+            b.forLoop(site, b.constI(0), c_v - 1, [&] {
+                b.line(210);
+                const Value a = b.ld(states, loff + site);
+                b.line(211);
+                const Value bb = b.ld(states, roff + site);
+                const Value inter = a & bb;
+                b.line(213);
+                b.ifThenElse(
+                    inter == 0,
+                    [&] {
+                        b.st(states, noff + Value(site), a | bb);
+                        b.assign(steps, Value(steps) + 1);
+                    },
+                    [&] {
+                        b.st(states, noff + Value(site), inter);
+                    });
+            });
+        } else {
+            // The paper's mechanism, within this tight loop's
+            // limited opportunity: the hard Fitch branches stay (the
+            // step count feeds the bound check), but the loop is
+            // unrolled by two with all four child-state loads and
+            // both set operations grouped above the first branch, so
+            // the second site's loads are no longer exposed after a
+            // misprediction of the first site's branch.
+            b.forLoop(site, b.constI(0), c_v - 1, [&] {
+                b.line(210);
+                const Value a0 = b.ld(states, loff + site);
+                const Value b0 = b.ld(states, roff + site);
+                const Value a1 = b.ld(states, loff + site, 1);
+                const Value b1 = b.ld(states, roff + site, 1);
+                const Value i0 = a0 & b0;
+                const Value u0 = a0 | b0;
+                const Value i1 = a1 & b1;
+                const Value u1 = a1 | b1;
+                b.line(213);
+                b.ifThenElse(
+                    i0 == 0,
+                    [&] {
+                        b.st(states, noff + Value(site), u0);
+                        b.assign(steps, Value(steps) + 1);
+                    },
+                    [&] {
+                        b.st(states, noff + Value(site), i0);
+                    });
+                b.line(215);
+                b.ifThenElse(
+                    i1 == 0,
+                    [&] {
+                        b.st(states, noff + Value(site), 1, u1);
+                        b.assign(steps, Value(steps) + 1);
+                    },
+                    [&] {
+                        b.st(states, noff + Value(site), 1, i1);
+                    });
+            }, 2);
+        }
+        b.ifThen(Value(steps) > bound, [&] { b.breakLoop(); });
+    });
+    b.st(out, 0, steps);
+    run.kernel = &b.finish();
+    compileKernel(prog, *run.kernel);
+
+    const ir::Program *prog_p = run.prog.get();
+    ir::Function *kernel = run.kernel;
+    const int32_t order_r = order.region;
+    const int32_t left_r = left_a.region;
+    const int32_t right_r = right_a.region;
+    const int32_t states_r = states.region;
+    const int32_t out_r = out.region;
+    const int32_t sites_n = sites;
+    const int32_t species_n = species;
+
+    run.driver = [=](vm::Interpreter &interp) {
+        auto &st = *state;
+        st.actual = 0;
+        vm::ArrayView<int32_t> states_view(interp.memory(),
+                                           prog_p->region(states_r));
+        vm::ArrayView<int64_t> out_view(interp.memory(),
+                                        prog_p->region(out_r));
+        // Leaf states are fixed across evaluations.
+        for (int32_t sp = 0; sp < species_n; sp++)
+            for (int32_t x = 0; x < sites_n; x++)
+                states_view.set(
+                    static_cast<uint64_t>(sp) * sites_n + x,
+                    st.chars.states[int64_t(sp) * sites_n + x]);
+
+        for (size_t e = 0; e < st.evals.size(); e++) {
+            const Topology &topo = st.evals[e];
+            auto put = [&](int32_t region,
+                           const std::vector<int32_t> &vals) {
+                vm::ArrayView<int32_t> view(interp.memory(),
+                                            prog_p->region(region));
+                for (size_t idx = 0; idx < vals.size(); idx++)
+                    view.set(idx, vals[idx]);
+            };
+            put(order_r, topo.order);
+            put(left_r, topo.left);
+            put(right_r, topo.right);
+            interp.run(*kernel,
+                       { static_cast<int64_t>(topo.order.size()),
+                         sites_n, st.bounds[e] });
+            st.actual += out_view.get(0);
+        }
+    };
+    run.verify = [state] { return state->actual == state->expected; };
+    return run;
+}
+
+} // namespace bioperf::apps

@@ -1,0 +1,225 @@
+#include "branch/predictors.h"
+
+namespace bioperf::branch {
+
+namespace {
+
+/** Saturating 2-bit counter helpers: >=2 means predict taken. */
+bool
+counterTaken(uint8_t c)
+{
+    return c >= 2;
+}
+
+uint8_t
+counterTrain(uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace
+
+bool
+BranchPredictor::predictAndTrain(uint32_t sid, bool taken)
+{
+    const bool p = predict(sid);
+    train(sid, taken);
+    const bool correct = p == taken;
+    noteOutcome(sid, correct);
+    return correct;
+}
+
+void
+BranchPredictor::noteOutcome(uint32_t sid, bool correct)
+{
+    if (sid >= exec_.size()) {
+        exec_.resize(sid + 1, 0);
+        miss_.resize(sid + 1, 0);
+    }
+    exec_[sid]++;
+    total_exec_++;
+    if (!correct) {
+        miss_[sid]++;
+        total_miss_++;
+    }
+}
+
+uint64_t
+BranchPredictor::executions(uint32_t sid) const
+{
+    return sid < exec_.size() ? exec_[sid] : 0;
+}
+
+uint64_t
+BranchPredictor::mispredictions(uint32_t sid) const
+{
+    return sid < miss_.size() ? miss_[sid] : 0;
+}
+
+double
+BranchPredictor::missRate(uint32_t sid) const
+{
+    const uint64_t e = executions(sid);
+    return e == 0 ? 0.0
+                  : static_cast<double>(mispredictions(sid)) /
+                        static_cast<double>(e);
+}
+
+double
+BranchPredictor::overallMissRate() const
+{
+    return total_exec_ == 0 ? 0.0
+                            : static_cast<double>(total_miss_) /
+                                  static_cast<double>(total_exec_);
+}
+
+// --------------------------------------------------------------------------
+// Bimodal
+// --------------------------------------------------------------------------
+
+bool
+BimodalPredictor::predict(uint32_t sid)
+{
+    if (sid >= counters_.size())
+        counters_.resize(sid + 1, 2);
+    return counterTaken(counters_[sid]);
+}
+
+void
+BimodalPredictor::train(uint32_t sid, bool taken)
+{
+    if (sid >= counters_.size())
+        counters_.resize(sid + 1, 2);
+    counters_[sid] = counterTrain(counters_[sid], taken);
+}
+
+// --------------------------------------------------------------------------
+// Gshare
+// --------------------------------------------------------------------------
+
+GsharePredictor::GsharePredictor(uint32_t history_bits)
+    : history_bits_(history_bits),
+      table_(size_t(1) << history_bits, 2)
+{
+}
+
+uint32_t
+GsharePredictor::index(uint32_t sid) const
+{
+    const uint32_t mask = (1u << history_bits_) - 1;
+    // Multiply by a large odd constant to spread consecutive static
+    // ids across the table before XORing with the history.
+    return ((sid * 2654435761u) ^ history_) & mask;
+}
+
+bool
+GsharePredictor::predict(uint32_t sid)
+{
+    return counterTaken(table_[index(sid)]);
+}
+
+void
+GsharePredictor::train(uint32_t sid, bool taken)
+{
+    uint8_t &c = table_[index(sid)];
+    c = counterTrain(c, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               ((1u << history_bits_) - 1);
+}
+
+// --------------------------------------------------------------------------
+// Local
+// --------------------------------------------------------------------------
+
+LocalPredictor::LocalPredictor(uint32_t history_bits)
+    : history_bits_(history_bits)
+{
+}
+
+void
+LocalPredictor::ensure(uint32_t sid)
+{
+    if (sid >= histories_.size()) {
+        histories_.resize(sid + 1, 0);
+        patterns_.resize(sid + 1);
+    }
+    if (patterns_[sid].empty())
+        patterns_[sid].assign(size_t(1) << history_bits_, 2);
+}
+
+bool
+LocalPredictor::predict(uint32_t sid)
+{
+    ensure(sid);
+    return counterTaken(patterns_[sid][histories_[sid]]);
+}
+
+void
+LocalPredictor::train(uint32_t sid, bool taken)
+{
+    ensure(sid);
+    uint8_t &c = patterns_[sid][histories_[sid]];
+    c = counterTrain(c, taken);
+    histories_[sid] = ((histories_[sid] << 1) | (taken ? 1 : 0)) &
+                      ((1u << history_bits_) - 1);
+}
+
+// --------------------------------------------------------------------------
+// Hybrid
+// --------------------------------------------------------------------------
+
+HybridPredictor::HybridPredictor(uint32_t local_history_bits,
+                                 uint32_t global_history_bits)
+    : local_(local_history_bits), gshare_(global_history_bits)
+{
+}
+
+bool
+HybridPredictor::predict(uint32_t sid)
+{
+    if (sid >= chooser_.size())
+        chooser_.resize(sid + 1, 2);
+    last_local_pred_ = local_.rawPredict(sid);
+    last_gshare_pred_ = gshare_.rawPredict(sid);
+    return counterTaken(chooser_[sid]) ? last_local_pred_
+                                       : last_gshare_pred_;
+}
+
+void
+HybridPredictor::train(uint32_t sid, bool taken)
+{
+    const bool local_ok = last_local_pred_ == taken;
+    const bool gshare_ok = last_gshare_pred_ == taken;
+    if (local_ok != gshare_ok) {
+        uint8_t &c = chooser_[sid];
+        c = counterTrain(c, local_ok);
+    }
+    local_.rawTrain(sid, taken);
+    gshare_.rawTrain(sid, taken);
+}
+
+// --------------------------------------------------------------------------
+// Factory
+// --------------------------------------------------------------------------
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &name)
+{
+    if (name == "perfect")
+        return std::make_unique<PerfectPredictor>();
+    if (name == "static")
+        return std::make_unique<StaticPredictor>();
+    if (name == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (name == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (name == "local")
+        return std::make_unique<LocalPredictor>();
+    if (name == "hybrid")
+        return std::make_unique<HybridPredictor>();
+    return nullptr;
+}
+
+} // namespace bioperf::branch

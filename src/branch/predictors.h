@@ -1,0 +1,190 @@
+#ifndef BIOPERF_BRANCH_PREDICTORS_H_
+#define BIOPERF_BRANCH_PREDICTORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bioperf::branch {
+
+/**
+ * Abstract conditional branch predictor keyed by static branch id.
+ *
+ * The characterization experiments use HybridPredictor with one entry
+ * per static branch (no aliasing), as the paper specifies. Per-branch
+ * accuracy statistics are collected in the base class so Table 4's
+ * per-sequence misprediction rates can be derived.
+ */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Predicts branch @a sid, trains on the actual outcome, records
+     * statistics, and returns true iff the prediction was correct.
+     */
+    virtual bool predictAndTrain(uint32_t sid, bool taken);
+
+    /** Dynamic executions observed for branch @a sid. */
+    uint64_t executions(uint32_t sid) const;
+    /** Mispredictions observed for branch @a sid. */
+    uint64_t mispredictions(uint32_t sid) const;
+    /** Per-branch misprediction rate in [0, 1]. */
+    double missRate(uint32_t sid) const;
+
+    uint64_t totalExecutions() const { return total_exec_; }
+    uint64_t totalMispredictions() const { return total_miss_; }
+    double overallMissRate() const;
+
+    /**
+     * Direct access to the prediction/training machinery without the
+     * statistics bookkeeping, so predictors can be composed (the
+     * hybrid uses these on its components).
+     */
+    bool rawPredict(uint32_t sid) { return predict(sid); }
+    void rawTrain(uint32_t sid, bool taken) { train(sid, taken); }
+
+  protected:
+    virtual bool predict(uint32_t sid) = 0;
+    virtual void train(uint32_t sid, bool taken) = 0;
+
+    void noteOutcome(uint32_t sid, bool correct);
+
+  private:
+    std::vector<uint64_t> exec_;
+    std::vector<uint64_t> miss_;
+    uint64_t total_exec_ = 0;
+    uint64_t total_miss_ = 0;
+};
+
+/** Always predicts the actual outcome (an oracle, for ablations). */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    const char *name() const override { return "perfect"; }
+
+    bool
+    predictAndTrain(uint32_t sid, bool) override
+    {
+        noteOutcome(sid, true);
+        return true;
+    }
+
+  protected:
+    bool predict(uint32_t) override { return true; }
+    void train(uint32_t, bool) override {}
+};
+
+/** Static predict-taken (or not-taken) baseline. */
+class StaticPredictor : public BranchPredictor
+{
+  public:
+    explicit StaticPredictor(bool predict_taken = true)
+        : taken_(predict_taken)
+    {
+    }
+    const char *name() const override
+    {
+        return taken_ ? "static-taken" : "static-not-taken";
+    }
+
+  protected:
+    bool predict(uint32_t) override { return taken_; }
+    void train(uint32_t, bool) override {}
+
+  private:
+    bool taken_;
+};
+
+/** One saturating 2-bit counter per static branch. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    const char *name() const override { return "bimodal"; }
+
+  protected:
+    bool predict(uint32_t sid) override;
+    void train(uint32_t sid, bool taken) override;
+
+  private:
+    std::vector<uint8_t> counters_; ///< 2-bit, initialized weakly taken
+};
+
+/**
+ * Gshare: global history XOR branch id indexes a shared table of
+ * 2-bit counters.
+ */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(uint32_t history_bits = 12);
+    const char *name() const override { return "gshare"; }
+
+  protected:
+    bool predict(uint32_t sid) override;
+    void train(uint32_t sid, bool taken) override;
+
+  private:
+    uint32_t index(uint32_t sid) const;
+
+    uint32_t history_bits_;
+    uint32_t history_ = 0;
+    std::vector<uint8_t> table_;
+};
+
+/**
+ * Two-level local predictor with a private history register and a
+ * private pattern table per static branch (no aliasing).
+ */
+class LocalPredictor : public BranchPredictor
+{
+  public:
+    explicit LocalPredictor(uint32_t history_bits = 10);
+    const char *name() const override { return "local"; }
+
+  protected:
+    bool predict(uint32_t sid) override;
+    void train(uint32_t sid, bool taken) override;
+
+  private:
+    void ensure(uint32_t sid);
+
+    uint32_t history_bits_;
+    std::vector<uint32_t> histories_;
+    std::vector<std::vector<uint8_t>> patterns_;
+};
+
+/**
+ * McFarling-style hybrid: a local and a gshare component with a 2-bit
+ * chooser per static branch. This is the configuration the paper uses
+ * for its Table 4 misprediction rates.
+ */
+class HybridPredictor : public BranchPredictor
+{
+  public:
+    HybridPredictor(uint32_t local_history_bits = 10,
+                    uint32_t global_history_bits = 12);
+    const char *name() const override { return "hybrid"; }
+
+  protected:
+    bool predict(uint32_t sid) override;
+    void train(uint32_t sid, bool taken) override;
+
+  private:
+    LocalPredictor local_;
+    GsharePredictor gshare_;
+    std::vector<uint8_t> chooser_; ///< 2-bit; >=2 prefers local
+    bool last_local_pred_ = false;
+    bool last_gshare_pred_ = false;
+};
+
+/** Factory by name: perfect, static, bimodal, gshare, local, hybrid. */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &name);
+
+} // namespace bioperf::branch
+
+#endif // BIOPERF_BRANCH_PREDICTORS_H_

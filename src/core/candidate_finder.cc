@@ -1,0 +1,40 @@
+#include "core/candidate_finder.h"
+
+#include <algorithm>
+
+#include "vm/interpreter.h"
+
+namespace bioperf::core {
+
+std::vector<profile::PerLoadProfiler::Entry>
+CandidateFinder::profileLoads(apps::AppRun &run, size_t top_n)
+{
+    profile::PerLoadProfiler profiler(*run.prog);
+    vm::Interpreter interp(*run.prog);
+    interp.addSink(&profiler);
+    run.driver(interp);
+    return profiler.topLoads(top_n);
+}
+
+std::vector<profile::PerLoadProfiler::Entry>
+CandidateFinder::findCandidates(apps::AppRun &run)
+{
+    auto entries = profileLoads(run, 512);
+    std::vector<profile::PerLoadProfiler::Entry> out;
+    for (const auto &e : entries) {
+        if (e.frequency >= params_.minFrequency &&
+            e.nextBranchMissRate() >= params_.minBranchMissRate) {
+            out.push_back(e);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.frequency * a.nextBranchMissRate() >
+                         b.frequency * b.nextBranchMissRate();
+              });
+    if (out.size() > params_.maxCandidates)
+        out.resize(params_.maxCandidates);
+    return out;
+}
+
+} // namespace bioperf::core

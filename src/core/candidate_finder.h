@@ -1,0 +1,57 @@
+#ifndef BIOPERF_CORE_CANDIDATE_FINDER_H_
+#define BIOPERF_CORE_CANDIDATE_FINDER_H_
+
+#include <vector>
+
+#include "apps/app.h"
+#include "profile/per_load.h"
+
+namespace bioperf::core {
+
+/**
+ * The Section 3 candidate-identification methodology, operationalized:
+ * profile every static load (frequency, L1 miss rate, misprediction
+ * rate of the following branch, source mapping), then rank the
+ * frequently executed loads that lead to or follow hard-to-predict
+ * branches — those are the ones whose L1 hit latency is worth hiding
+ * by source-level scheduling.
+ */
+class CandidateFinder
+{
+  public:
+    struct Params
+    {
+        /** Minimum share of dynamic loads to be "frequent". */
+        double minFrequency = 0.005;
+        /** Following-branch misprediction threshold ("hard"). */
+        double minBranchMissRate = 0.05;
+        size_t maxCandidates = 32;
+    };
+
+    CandidateFinder() = default;
+
+    explicit CandidateFinder(const Params &params) : params_(params) {}
+
+    /**
+     * Runs the application's workload with the per-load profiler and
+     * returns the full profile of the @a top_n hottest static loads
+     * (the Table 5 view).
+     */
+    std::vector<profile::PerLoadProfiler::Entry>
+    profileLoads(apps::AppRun &run, size_t top_n = 20);
+
+    /**
+     * The ranked optimization candidates: frequent loads whose
+     * following branch mispredicts at least minBranchMissRate,
+     * ordered by frequency x misprediction product.
+     */
+    std::vector<profile::PerLoadProfiler::Entry>
+    findCandidates(apps::AppRun &run);
+
+  private:
+    Params params_;
+};
+
+} // namespace bioperf::core
+
+#endif // BIOPERF_CORE_CANDIDATE_FINDER_H_

@@ -1,0 +1,100 @@
+#include "core/simulator.h"
+
+#include "cpu/inorder_core.h"
+#include "cpu/ooo_core.h"
+#include "regalloc/linear_scan.h"
+#include "vm/interpreter.h"
+
+namespace bioperf::core {
+
+CharacterizationResult
+Simulator::characterize(apps::AppRun &run)
+{
+    CharacterizationResult res;
+    res.mix = std::make_unique<profile::InstructionMixProfiler>();
+    res.coverage = std::make_unique<profile::LoadCoverageProfiler>();
+    res.cache = std::make_unique<profile::CacheProfiler>();
+    res.loadBranch = std::make_unique<profile::LoadBranchProfiler>();
+
+    vm::Interpreter interp(*run.prog);
+    interp.addSink(res.mix.get());
+    interp.addSink(res.coverage.get());
+    interp.addSink(res.cache.get());
+    interp.addSink(res.loadBranch.get());
+    run.driver(interp);
+    res.instructions = interp.totalInstrs();
+    res.verified = run.verify();
+    return res;
+}
+
+TimingResult
+Simulator::time(apps::AppRun &run, const cpu::PlatformConfig &platform)
+{
+    TimingResult res;
+    mem::CacheHierarchy caches = platform.makeHierarchy();
+    auto predictor = platform.makePredictor();
+
+    vm::Interpreter interp(*run.prog);
+    if (platform.core.outOfOrder) {
+        cpu::OooCore core(platform.core, &caches, predictor.get());
+        interp.addSink(&core);
+        run.driver(interp);
+        res.cycles = core.cycles();
+        res.instructions = core.instructions();
+        res.mispredicts = core.branchMispredictions();
+        res.ipc = core.ipc();
+        res.seconds = core.seconds();
+    } else {
+        cpu::InorderCore core(platform.core, &caches, predictor.get());
+        interp.addSink(&core);
+        run.driver(interp);
+        res.cycles = core.cycles();
+        res.instructions = core.instructions();
+        res.mispredicts = core.branchMispredictions();
+        res.ipc = core.ipc();
+        res.seconds = core.seconds();
+    }
+    res.verified = run.verify();
+    return res;
+}
+
+uint32_t
+Simulator::applyRegisterPressure(apps::AppRun &run,
+                                 const cpu::PlatformConfig &platform)
+{
+    uint32_t spills = 0;
+    for (size_t f = 0; f < run.prog->numFunctions(); f++) {
+        const regalloc::AllocResult r = regalloc::allocate(
+            *run.prog, run.prog->function(f),
+            platform.core.numIntRegs, platform.core.numFpRegs);
+        spills += r.spillInstrs;
+    }
+    run.prog->renumber();
+    return spills;
+}
+
+double
+Simulator::speedup(const apps::AppInfo &app,
+                   const cpu::PlatformConfig &platform,
+                   apps::Scale scale, uint64_t seed,
+                   TimingResult *baseline_out,
+                   TimingResult *transformed_out)
+{
+    apps::AppRun base = app.make(apps::Variant::Baseline, scale, seed);
+    apps::AppRun xform =
+        app.make(apps::Variant::Transformed, scale, seed);
+    applyRegisterPressure(base, platform);
+    applyRegisterPressure(xform, platform);
+    const TimingResult tb = time(base, platform);
+    const TimingResult tx = time(xform, platform);
+    if (baseline_out)
+        *baseline_out = tb;
+    if (transformed_out)
+        *transformed_out = tx;
+    return tx.cycles == 0
+               ? 0.0
+               : static_cast<double>(tb.cycles) /
+                     static_cast<double>(tx.cycles);
+}
+
+} // namespace bioperf::core

@@ -1,0 +1,82 @@
+#ifndef BIOPERF_CORE_SIMULATOR_H_
+#define BIOPERF_CORE_SIMULATOR_H_
+
+#include <memory>
+
+#include "apps/app.h"
+#include "cpu/platforms.h"
+#include "profile/cache_profiler.h"
+#include "profile/instruction_mix.h"
+#include "profile/load_branch.h"
+#include "profile/load_coverage.h"
+
+namespace bioperf::core {
+
+/**
+ * Results of one full characterization pass (the repository's
+ * ATOM-equivalent): instruction mix, static-load coverage, cache
+ * behaviour and load/branch sequence analysis, all collected in a
+ * single interpretation of the workload.
+ */
+struct CharacterizationResult
+{
+    std::unique_ptr<profile::InstructionMixProfiler> mix;
+    std::unique_ptr<profile::LoadCoverageProfiler> coverage;
+    std::unique_ptr<profile::CacheProfiler> cache;
+    std::unique_ptr<profile::LoadBranchProfiler> loadBranch;
+    uint64_t instructions = 0;
+    bool verified = false;
+};
+
+/** Results of one timing simulation on a platform. */
+struct TimingResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t mispredicts = 0;
+    double ipc = 0.0;
+    double seconds = 0.0;
+    bool verified = false;
+};
+
+/**
+ * One-stop driver tying applications to the analysis stack. All
+ * methods run the application's full workload through the interpreter
+ * with the requested sinks attached and check the outputs against the
+ * application's golden model.
+ */
+class Simulator
+{
+  public:
+    /** Characterizes @a run under the Table 3 reference cache model. */
+    static CharacterizationResult characterize(apps::AppRun &run);
+
+    /** Times @a run on @a platform (OoO or in-order per config). */
+    static TimingResult time(apps::AppRun &run,
+                             const cpu::PlatformConfig &platform);
+
+    /**
+     * Rewrites every function of the application for the platform's
+     * architectural register counts, inserting spill code. Call
+     * before time() when modeling register pressure (Pentium 4).
+     *
+     * @return total spill instructions inserted
+     */
+    static uint32_t applyRegisterPressure(
+        apps::AppRun &run, const cpu::PlatformConfig &platform);
+
+    /**
+     * Convenience: baseline-vs-transformed speedup of @a app on
+     * @a platform, as the paper reports it (original time divided by
+     * transformed time), with register pressure applied to both.
+     */
+    static double speedup(const apps::AppInfo &app,
+                          const cpu::PlatformConfig &platform,
+                          apps::Scale scale, uint64_t seed,
+                          TimingResult *baseline_out = nullptr,
+                          TimingResult *transformed_out = nullptr);
+};
+
+} // namespace bioperf::core
+
+#endif // BIOPERF_CORE_SIMULATOR_H_

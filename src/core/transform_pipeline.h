@@ -1,0 +1,55 @@
+#ifndef BIOPERF_CORE_TRANSFORM_PIPELINE_H_
+#define BIOPERF_CORE_TRANSFORM_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "cpu/platforms.h"
+
+namespace bioperf::core {
+
+/**
+ * End-to-end application of the paper's methodology to one
+ * application: build baseline and transformed kernels, check both
+ * against the golden model (which also proves them equivalent to
+ * each other), and summarize the static footprint of the
+ * transformation (the Table 6 view).
+ */
+class TransformPipeline
+{
+  public:
+    struct Report
+    {
+        std::string app;
+        /** Static loads in the transformed kernel's hot region. */
+        uint32_t staticLoadsConsidered = 0;
+        /** Distinct tagged source lines the transformation touched. */
+        uint32_t linesInvolved = 0;
+        /** Static instruction counts, before/after. */
+        size_t baselineStaticInstrs = 0;
+        size_t transformedStaticInstrs = 0;
+        size_t baselineStaticLoads = 0;
+        size_t transformedStaticLoads = 0;
+        /** Conditional-branch static counts (cmov conversion effect). */
+        size_t baselineStaticBranches = 0;
+        size_t transformedStaticBranches = 0;
+        bool baselineVerified = false;
+        bool transformedVerified = false;
+    };
+
+    /**
+     * Builds both variants at @a scale/@a seed, runs them functionally
+     * and reports the transformation footprint.
+     */
+    static Report analyze(const apps::AppInfo &app, apps::Scale scale,
+                          uint64_t seed);
+
+    /** Reports for all six transformable applications. */
+    static std::vector<Report> analyzeAll(apps::Scale scale,
+                                          uint64_t seed);
+};
+
+} // namespace bioperf::core
+
+#endif // BIOPERF_CORE_TRANSFORM_PIPELINE_H_

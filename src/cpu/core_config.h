@@ -1,0 +1,48 @@
+#ifndef BIOPERF_CPU_CORE_CONFIG_H_
+#define BIOPERF_CPU_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bioperf::cpu {
+
+/**
+ * Microarchitectural parameters of a timing core. The four presets in
+ * platforms.h instantiate this with values modeled after Table 7 of
+ * the paper (plus standard 2006-era figures for parameters the paper
+ * does not list, documented per platform).
+ */
+struct CoreConfig
+{
+    std::string name = "generic-ooo";
+    bool outOfOrder = true;
+
+    uint32_t fetchWidth = 4;   ///< instructions dispatched per cycle
+    uint32_t issueWidth = 4;   ///< instructions issued per cycle
+    uint32_t retireWidth = 4;
+    uint32_t windowSize = 80;  ///< ROB entries (ignored when in-order)
+
+    /**
+     * Cycles between branch resolution and the first useful fetch
+     * after a misprediction (front-end refill). The *effective*
+     * penalty additionally includes the resolution delay itself,
+     * which is where the paper's load-to-branch chains hurt.
+     */
+    uint32_t mispredictPenalty = 7;
+
+    uint32_t intAluLatency = 1;
+    uint32_t intMulLatency = 7;
+    uint32_t intDivLatency = 20;
+    uint32_t fpAluLatency = 4;
+    uint32_t fpDivLatency = 12;
+
+    double clockGhz = 1.0;
+
+    /** Architectural register counts, consumed by the allocator. */
+    uint32_t numIntRegs = 32;
+    uint32_t numFpRegs = 32;
+};
+
+} // namespace bioperf::cpu
+
+#endif // BIOPERF_CPU_CORE_CONFIG_H_

@@ -1,0 +1,128 @@
+#include "cpu/inorder_core.h"
+
+#include <algorithm>
+
+namespace bioperf::cpu {
+
+InorderCore::InorderCore(const CoreConfig &config,
+                         mem::CacheHierarchy *caches,
+                         branch::BranchPredictor *predictor)
+    : config_(config), caches_(caches), predictor_(predictor)
+{
+}
+
+uint64_t &
+InorderCore::regReady(ir::RegClass cls, uint32_t reg)
+{
+    auto &v = cls == ir::RegClass::Fp ? fp_ready_ : int_ready_;
+    if (reg >= v.size())
+        v.resize(reg + 1, 0);
+    return v[reg];
+}
+
+void
+InorderCore::onInstr(const vm::DynInstr &di)
+{
+    const ir::Instr &in = *di.instr;
+
+    uint64_t ready = issue_cycle_;
+    reads_buf_.clear();
+    gatherReads(in, reads_buf_);
+    for (auto &[cls, reg] : reads_buf_)
+        ready = std::max(ready, regReady(cls, reg));
+
+    // In-order issue: a stalled instruction blocks younger ones.
+    if (ready > issue_cycle_) {
+        issue_cycle_ = ready;
+        issued_this_cycle_ = 0;
+    }
+    if (issued_this_cycle_ >= config_.issueWidth) {
+        issue_cycle_++;
+        issued_this_cycle_ = 0;
+    }
+    const uint64_t issue = issue_cycle_;
+    issued_this_cycle_++;
+
+    uint32_t latency = config_.intAluLatency;
+    switch (ir::classOf(in.op)) {
+      case ir::InstrClass::IntAlu:
+        if (in.op == ir::Opcode::Mul)
+            latency = config_.intMulLatency;
+        else if (in.op == ir::Opcode::Div || in.op == ir::Opcode::Rem)
+            latency = config_.intDivLatency;
+        break;
+      case ir::InstrClass::FpAlu:
+        latency = in.op == ir::Opcode::FDiv ? config_.fpDivLatency
+                                            : config_.fpAluLatency;
+        break;
+      case ir::InstrClass::Load:
+      case ir::InstrClass::FpLoad:
+        latency = caches_->access(di.addr, false).latency;
+        if (accel_) {
+            latency = accel_->adjustLatency(in.sid, di.addr,
+                                            di.loadValueBits, latency);
+        }
+        break;
+      case ir::InstrClass::Store:
+      case ir::InstrClass::FpStore:
+        caches_->access(di.addr, true);
+        latency = 1;
+        break;
+      case ir::InstrClass::Prefetch:
+        caches_->access(di.addr, false);
+        latency = 1;
+        break;
+      default:
+        latency = 1;
+        break;
+    }
+    const uint64_t complete = issue + latency;
+    last_complete_ = std::max(last_complete_, complete);
+
+    if (ir::dstClass(in) != ir::RegClass::None)
+        regReady(ir::dstClass(in), in.dst) = complete;
+
+    if (in.op == ir::Opcode::Br) {
+        const bool correct = predictor_->predictAndTrain(in.sid, di.taken);
+        if (!correct) {
+            mispredicts_++;
+            const uint64_t redirect = complete + config_.mispredictPenalty;
+            if (redirect > issue_cycle_) {
+                issue_cycle_ = redirect;
+                issued_this_cycle_ = 0;
+            }
+        } else if (di.taken) {
+            // Issue groups do not continue past a taken branch.
+            issue_cycle_++;
+            issued_this_cycle_ = 0;
+        }
+    } else if (in.op == ir::Opcode::Jmp) {
+        issue_cycle_++;
+        issued_this_cycle_ = 0;
+    }
+
+    instructions_++;
+}
+
+void
+InorderCore::onRunEnd()
+{
+    std::fill(int_ready_.begin(), int_ready_.end(), 0);
+    std::fill(fp_ready_.begin(), fp_ready_.end(), 0);
+}
+
+double
+InorderCore::ipc() const
+{
+    return last_complete_ == 0 ? 0.0
+                               : static_cast<double>(instructions_) /
+                                     static_cast<double>(last_complete_);
+}
+
+double
+InorderCore::seconds() const
+{
+    return static_cast<double>(last_complete_) / (config_.clockGhz * 1e9);
+}
+
+} // namespace bioperf::cpu

@@ -1,0 +1,68 @@
+#ifndef BIOPERF_CPU_INORDER_CORE_H_
+#define BIOPERF_CPU_INORDER_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictors.h"
+#include "cpu/core_config.h"
+#include "cpu/load_accel.h"
+#include "mem/hierarchy.h"
+#include "vm/trace.h"
+
+namespace bioperf::cpu {
+
+/**
+ * Trace-driven in-order multi-issue core (the Itanium 2 model).
+ *
+ * Instructions issue strictly in program order, up to issueWidth per
+ * cycle; an instruction whose operands are not ready stalls itself
+ * and everything behind it (stall-on-use). This is why the paper's
+ * transformation still pays off on the in-order Itanium: separating
+ * loads from their uses lets independent work fill the load's latency
+ * slots, with no speculative element involved (Section 5.1).
+ */
+class InorderCore : public vm::TraceSink
+{
+  public:
+    InorderCore(const CoreConfig &config, mem::CacheHierarchy *caches,
+                branch::BranchPredictor *predictor);
+
+    void onInstr(const vm::DynInstr &di) override;
+    void onRunEnd() override;
+
+    uint64_t cycles() const { return last_complete_; }
+    uint64_t instructions() const { return instructions_; }
+    double ipc() const;
+    double seconds() const;
+    uint64_t branchMispredictions() const { return mispredicts_; }
+
+    const CoreConfig &config() const { return config_; }
+
+    /** Installs a hardware load-latency-hiding unit (borrowed). */
+    void setLoadAccelerator(LoadAccelerator *accel) { accel_ = accel; }
+
+  private:
+    uint64_t &regReady(ir::RegClass cls, uint32_t reg);
+
+    CoreConfig config_;
+    mem::CacheHierarchy *caches_;
+    branch::BranchPredictor *predictor_;
+    LoadAccelerator *accel_ = nullptr;
+
+    uint64_t issue_cycle_ = 1;   ///< cycle the next instruction may issue
+    uint32_t issued_this_cycle_ = 0;
+
+    std::vector<uint64_t> int_ready_;
+    std::vector<uint64_t> fp_ready_;
+
+    uint64_t last_complete_ = 0;
+    uint64_t instructions_ = 0;
+    uint64_t mispredicts_ = 0;
+
+    std::vector<std::pair<ir::RegClass, uint32_t>> reads_buf_;
+};
+
+} // namespace bioperf::cpu
+
+#endif // BIOPERF_CPU_INORDER_CORE_H_

@@ -1,0 +1,80 @@
+#include "cpu/load_accel.h"
+
+namespace bioperf::cpu {
+
+double
+LoadAccelerator::hitRate() const
+{
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+}
+
+uint32_t
+ZeroCycleLoadUnit::adjustLatency(uint32_t sid, uint64_t addr, uint64_t,
+                                 uint32_t real_latency)
+{
+    if (sid >= table_.size())
+        table_.resize(sid + 1);
+    Entry &e = table_[sid];
+
+    bool hit = false;
+    if (e.valid) {
+        const uint64_t predicted =
+            e.lastAddr + static_cast<uint64_t>(e.stride);
+        hit = predicted == addr;
+    }
+    const int64_t new_stride =
+        e.valid ? static_cast<int64_t>(addr) -
+                      static_cast<int64_t>(e.lastAddr)
+                : 0;
+    e.stride = new_stride;
+    e.lastAddr = addr;
+    e.valid = true;
+
+    // A correctly predicted address only helps when the data is
+    // L1-resident (the prefetch had time to complete); deeper
+    // accesses keep their real latency.
+    if (hit && real_latency <= 4) {
+        noteHit();
+        return 1;
+    }
+    noteMiss();
+    return real_latency;
+}
+
+uint32_t
+LastValuePredictor::adjustLatency(uint32_t sid, uint64_t,
+                                  uint64_t value_bits,
+                                  uint32_t real_latency)
+{
+    if (sid >= table_.size())
+        table_.resize(sid + 1);
+    Entry &e = table_[sid];
+
+    uint32_t latency = real_latency;
+    if (e.valid && e.confidence >= 2) {
+        if (e.lastValue == value_bits) {
+            noteHit();
+            latency = 1; // consumers used the predicted value
+        } else {
+            noteMiss();
+            latency = real_latency + replay_penalty_;
+        }
+    } else {
+        noteMiss();
+    }
+
+    if (e.valid && e.lastValue == value_bits) {
+        if (e.confidence < 3)
+            e.confidence++;
+    } else {
+        e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+    }
+    e.lastValue = value_bits;
+    e.valid = true;
+    return latency;
+}
+
+} // namespace bioperf::cpu

@@ -1,0 +1,120 @@
+#ifndef BIOPERF_CPU_LOAD_ACCEL_H_
+#define BIOPERF_CPU_LOAD_ACCEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bioperf::cpu {
+
+/**
+ * Hardware load-latency-hiding mechanisms from the paper's related
+ * work (Section 6), modeled as plug-ins to the timing cores so the
+ * software transformation can be compared against its hardware
+ * alternatives:
+ *
+ *  - ZeroCycleLoadUnit: Austin & Sohi's zero-cycle loads via base
+ *    register caching and fast (stride-predicted) address
+ *    calculation — a load whose address was predicted correctly has
+ *    its data ready one cycle after issue;
+ *  - LastValuePredictor: Calder & Reinman's load value speculation —
+ *    consumers proceed with the predicted value one cycle after
+ *    issue; a wrong prediction costs a replay penalty on top of the
+ *    real access latency.
+ *
+ * The accelerator observes every dynamic load (static id, effective
+ * address, loaded value bits, real hierarchy latency) and returns the
+ * latency consumers should see.
+ */
+class LoadAccelerator
+{
+  public:
+    virtual ~LoadAccelerator() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Observes one dynamic load and returns the consumer-visible
+     * latency.
+     *
+     * @param sid          static load id
+     * @param addr         effective address
+     * @param value_bits   loaded value (raw bits)
+     * @param real_latency the cache hierarchy's access latency
+     */
+    virtual uint32_t adjustLatency(uint32_t sid, uint64_t addr,
+                                   uint64_t value_bits,
+                                   uint32_t real_latency) = 0;
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    double hitRate() const;
+
+  protected:
+    void noteHit() { hits_++; }
+    void noteMiss() { misses_++; }
+
+  private:
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/**
+ * Zero-cycle loads: per-static-load stride address predictor. When
+ * the next address is predicted correctly (and the line is an L1
+ * hit), the data was prefetched into a bypass latch and the load
+ * completes in one cycle. Mispredicted addresses simply see the real
+ * latency (the early fetch is wasted, not penalized).
+ */
+class ZeroCycleLoadUnit : public LoadAccelerator
+{
+  public:
+    const char *name() const override { return "zero-cycle-loads"; }
+
+    uint32_t adjustLatency(uint32_t sid, uint64_t addr,
+                           uint64_t value_bits,
+                           uint32_t real_latency) override;
+
+  private:
+    struct Entry
+    {
+        uint64_t lastAddr = 0;
+        int64_t stride = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> table_;
+};
+
+/**
+ * Last-value prediction: consumers speculatively use the previous
+ * value loaded by the same static load. A confidence counter gates
+ * speculation; a wrong speculation costs the real latency plus the
+ * replay penalty.
+ */
+class LastValuePredictor : public LoadAccelerator
+{
+  public:
+    explicit LastValuePredictor(uint32_t replay_penalty = 7)
+        : replay_penalty_(replay_penalty)
+    {
+    }
+
+    const char *name() const override { return "last-value-pred"; }
+
+    uint32_t adjustLatency(uint32_t sid, uint64_t addr,
+                           uint64_t value_bits,
+                           uint32_t real_latency) override;
+
+  private:
+    struct Entry
+    {
+        uint64_t lastValue = 0;
+        uint8_t confidence = 0; ///< speculate when >= 2
+        bool valid = false;
+    };
+    uint32_t replay_penalty_;
+    std::vector<Entry> table_;
+};
+
+} // namespace bioperf::cpu
+
+#endif // BIOPERF_CPU_LOAD_ACCEL_H_

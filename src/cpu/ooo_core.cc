@@ -1,0 +1,197 @@
+#include "cpu/ooo_core.h"
+
+#include <algorithm>
+
+namespace bioperf::cpu {
+
+namespace {
+
+constexpr size_t kSlotBuckets = 1 << 15; // power of two, cycle-tagged
+
+} // namespace
+
+OooCore::OooCore(const CoreConfig &config, mem::CacheHierarchy *caches,
+                 branch::BranchPredictor *predictor)
+    : config_(config), caches_(caches), predictor_(predictor),
+      rob_(std::max<uint32_t>(config.windowSize, 1), 0),
+      issue_slots_(kSlotBuckets), retire_slots_(kSlotBuckets)
+{
+}
+
+uint64_t &
+OooCore::regReady(ir::RegClass cls, uint32_t reg)
+{
+    auto &v = cls == ir::RegClass::Fp ? fp_ready_ : int_ready_;
+    if (reg >= v.size())
+        v.resize(reg + 1, 0);
+    return v[reg];
+}
+
+uint64_t
+OooCore::allocIssueSlot(uint64_t earliest)
+{
+    for (uint64_t c = earliest;; c++) {
+        SlotBucket &b = issue_slots_[c & (kSlotBuckets - 1)];
+        if (b.cycle != c) {
+            b.cycle = c;
+            b.used = 0;
+        }
+        if (b.used < config_.issueWidth) {
+            b.used++;
+            return c;
+        }
+    }
+}
+
+uint64_t
+OooCore::allocRetireSlot(uint64_t earliest)
+{
+    for (uint64_t c = earliest;; c++) {
+        SlotBucket &b = retire_slots_[c & (kSlotBuckets - 1)];
+        if (b.cycle != c) {
+            b.cycle = c;
+            b.used = 0;
+        }
+        if (b.used < config_.retireWidth) {
+            b.used++;
+            return c;
+        }
+    }
+}
+
+void
+OooCore::onInstr(const vm::DynInstr &di)
+{
+    const ir::Instr &in = *di.instr;
+    PipelineTimes t;
+
+    // --- dispatch: fetch bandwidth + window occupancy ---------------------
+    if (fetch_slots_used_ >= config_.fetchWidth) {
+        fetch_cycle_++;
+        fetch_slots_used_ = 0;
+    }
+    uint64_t dispatch = fetch_cycle_;
+    const uint64_t oldest_retire = rob_[instructions_ % rob_.size()];
+    if (oldest_retire > dispatch) {
+        // Window full: dispatch stalls until the oldest entry retires.
+        dispatch = oldest_retire;
+        fetch_cycle_ = dispatch;
+        fetch_slots_used_ = 0;
+    }
+    fetch_slots_used_++;
+    t.dispatch = dispatch;
+
+    // --- operand readiness ------------------------------------------------
+    uint64_t ready = dispatch + 1;
+    reads_buf_.clear();
+    gatherReads(in, reads_buf_);
+    for (auto &[cls, reg] : reads_buf_)
+        ready = std::max(ready, regReady(cls, reg));
+
+    // --- issue: bandwidth-limited ------------------------------------------
+    const uint64_t issue = allocIssueSlot(ready);
+    t.issue = issue;
+
+    // --- execute ------------------------------------------------------------
+    uint32_t latency = config_.intAluLatency;
+    switch (ir::classOf(in.op)) {
+      case ir::InstrClass::IntAlu:
+        if (in.op == ir::Opcode::Mul)
+            latency = config_.intMulLatency;
+        else if (in.op == ir::Opcode::Div || in.op == ir::Opcode::Rem)
+            latency = config_.intDivLatency;
+        break;
+      case ir::InstrClass::FpAlu:
+        latency = in.op == ir::Opcode::FDiv ? config_.fpDivLatency
+                                            : config_.fpAluLatency;
+        break;
+      case ir::InstrClass::Load:
+      case ir::InstrClass::FpLoad: {
+        const auto acc = caches_->access(di.addr, false);
+        latency = acc.latency;
+        if (accel_) {
+            latency = accel_->adjustLatency(in.sid, di.addr,
+                                            di.loadValueBits, latency);
+        }
+        t.memLatency = latency;
+        break;
+      }
+      case ir::InstrClass::Store:
+      case ir::InstrClass::FpStore: {
+        // Stores commit through a write buffer: they update the cache
+        // but complete in one cycle from the pipeline's perspective.
+        caches_->access(di.addr, true);
+        latency = 1;
+        break;
+      }
+      case ir::InstrClass::Prefetch:
+        // Fire-and-forget: warms the hierarchy, never stalls.
+        caches_->access(di.addr, false);
+        latency = 1;
+        break;
+      default:
+        latency = 1;
+        break;
+    }
+    const uint64_t complete = issue + latency;
+    t.complete = complete;
+
+    // --- writeback ----------------------------------------------------------
+    if (ir::dstClass(in) != ir::RegClass::None)
+        regReady(ir::dstClass(in), in.dst) = complete;
+
+    // --- branch resolution ---------------------------------------------------
+    if (in.op == ir::Opcode::Br) {
+        const bool correct = predictor_->predictAndTrain(in.sid, di.taken);
+        if (!correct) {
+            mispredicts_++;
+            t.mispredicted = true;
+            // Fetch redirect: nothing useful enters the pipeline until
+            // the branch resolves (complete) plus the refill penalty.
+            const uint64_t redirect = complete + config_.mispredictPenalty;
+            if (redirect > fetch_cycle_) {
+                fetch_cycle_ = redirect;
+                fetch_slots_used_ = 0;
+            }
+        }
+        // Correctly predicted taken branches fetch the target without
+        // a bubble (21264-style line/way prediction); no group break.
+    }
+
+    // --- retire (in order, bandwidth-limited) -------------------------------
+    const uint64_t retire =
+        allocRetireSlot(std::max(complete, last_retire_));
+    last_retire_ = retire;
+    rob_[instructions_ % rob_.size()] = retire;
+    t.retire = retire;
+
+    instructions_++;
+    if (log_)
+        log_(di, t);
+}
+
+void
+OooCore::onRunEnd()
+{
+    // A new run starts with freshly zeroed registers whose values are
+    // immediately available.
+    std::fill(int_ready_.begin(), int_ready_.end(), 0);
+    std::fill(fp_ready_.begin(), fp_ready_.end(), 0);
+}
+
+double
+OooCore::ipc()
+const
+{
+    return last_retire_ == 0 ? 0.0
+                             : static_cast<double>(instructions_) /
+                                   static_cast<double>(last_retire_);
+}
+
+double
+OooCore::seconds() const
+{
+    return static_cast<double>(last_retire_) / (config_.clockGhz * 1e9);
+}
+
+} // namespace bioperf::cpu

@@ -1,0 +1,182 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bioperf::ir {
+
+Cfg::Cfg(const Function &fn)
+{
+    const size_t n = fn.blocks.size();
+    succs_.resize(n);
+    preds_.resize(n);
+
+    for (const auto &bb : fn.blocks) {
+        const Instr &t = bb.terminator();
+        if (t.op == Opcode::Br) {
+            succs_[bb.id] = { t.taken, t.notTaken };
+        } else if (t.op == Opcode::Jmp) {
+            succs_[bb.id] = { t.taken };
+        }
+        for (uint32_t s : succs_[bb.id])
+            preds_[s].push_back(bb.id);
+    }
+
+    // Reverse postorder via iterative DFS from the entry block.
+    std::vector<uint8_t> state(n, 0); // 0=unvisited 1=on-stack 2=done
+    std::vector<std::pair<uint32_t, size_t>> stack;
+    std::vector<uint32_t> postorder;
+    if (n > 0) {
+        stack.emplace_back(0, 0);
+        state[0] = 1;
+        while (!stack.empty()) {
+            auto &[bb, idx] = stack.back();
+            if (idx < succs_[bb].size()) {
+                const uint32_t s = succs_[bb][idx++];
+                if (state[s] == 0) {
+                    state[s] = 1;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                state[bb] = 2;
+                postorder.push_back(bb);
+                stack.pop_back();
+            }
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    // Append unreachable blocks so analyses cover every block id.
+    for (uint32_t bb = 0; bb < n; bb++)
+        if (state[bb] != 2)
+            rpo_.push_back(bb);
+}
+
+Dominators::Dominators(const Function &fn, const Cfg &cfg)
+{
+    const size_t n = fn.blocks.size();
+    idom_.assign(n, kNoBlock);
+    if (n == 0)
+        return;
+
+    std::vector<uint32_t> rpo_index(n, kNoBlock);
+    for (size_t i = 0; i < cfg.rpo().size(); i++)
+        rpo_index[cfg.rpo()[i]] = static_cast<uint32_t>(i);
+
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom_[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t bb : cfg.rpo()) {
+            if (bb == 0)
+                continue;
+            uint32_t new_idom = kNoBlock;
+            for (uint32_t p : cfg.preds(bb)) {
+                if (idom_[p] == kNoBlock)
+                    continue;
+                new_idom = new_idom == kNoBlock ? p
+                                                : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idom_[bb] != new_idom) {
+                idom_[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Dominators::dominates(uint32_t a, uint32_t b) const
+{
+    // Walk b's dominator chain up to the entry.
+    while (true) {
+        if (a == b)
+            return true;
+        if (b == 0 || idom_[b] == kNoBlock)
+            return false;
+        const uint32_t up = idom_[b];
+        if (up == b)
+            return false;
+        b = up;
+    }
+}
+
+std::vector<uint32_t>
+readsOfClass(const Instr &in, RegClass cls)
+{
+    std::vector<uint32_t> out;
+    std::vector<std::pair<RegClass, uint32_t>> reads;
+    gatherReads(in, reads);
+    for (auto &[c, r] : reads)
+        if (c == cls)
+            out.push_back(r);
+    return out;
+}
+
+uint32_t
+writeOfClass(const Instr &in, RegClass cls)
+{
+    if (dstClass(in) == cls)
+        return in.dst;
+    return kNoReg;
+}
+
+Liveness::Liveness(const Function &fn, const Cfg &cfg, RegClass cls)
+{
+    const size_t nblocks = fn.blocks.size();
+    const uint32_t nregs = cls == RegClass::Fp ? fn.numFpRegs
+                                               : fn.numIntRegs;
+    live_in_.assign(nblocks, std::vector<bool>(nregs, false));
+    live_out_.assign(nblocks, std::vector<bool>(nregs, false));
+
+    // Per-block gen (upward-exposed uses) and kill (defs) sets.
+    std::vector<std::vector<bool>> gen(nblocks,
+                                       std::vector<bool>(nregs, false));
+    std::vector<std::vector<bool>> kill(nblocks,
+                                        std::vector<bool>(nregs, false));
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.instrs) {
+            for (uint32_t r : readsOfClass(in, cls))
+                if (!kill[bb.id][r])
+                    gen[bb.id][r] = true;
+            const uint32_t w = writeOfClass(in, cls);
+            if (w != kNoReg)
+                kill[bb.id][w] = true;
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate blocks backwards in RPO for fast convergence.
+        const auto &order = cfg.rpo();
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            const uint32_t bb = *it;
+            std::vector<bool> out(nregs, false);
+            for (uint32_t s : cfg.succs(bb))
+                for (uint32_t r = 0; r < nregs; r++)
+                    if (live_in_[s][r])
+                        out[r] = true;
+            std::vector<bool> in_set = gen[bb];
+            for (uint32_t r = 0; r < nregs; r++)
+                if (out[r] && !kill[bb][r])
+                    in_set[r] = true;
+            if (out != live_out_[bb] || in_set != live_in_[bb]) {
+                live_out_[bb] = std::move(out);
+                live_in_[bb] = std::move(in_set);
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace bioperf::ir

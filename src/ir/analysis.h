@@ -1,0 +1,89 @@
+#ifndef BIOPERF_IR_ANALYSIS_H_
+#define BIOPERF_IR_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace bioperf::ir {
+
+/**
+ * Control-flow graph derived from a Function: successor and
+ * predecessor lists plus a reverse-postorder traversal, the substrate
+ * for the dominator and liveness analyses used by the optimizer and
+ * the register allocator.
+ */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &fn);
+
+    const std::vector<uint32_t> &succs(uint32_t bb) const
+    {
+        return succs_[bb];
+    }
+    const std::vector<uint32_t> &preds(uint32_t bb) const
+    {
+        return preds_[bb];
+    }
+    /** Blocks in reverse postorder from the entry (unreachable last). */
+    const std::vector<uint32_t> &rpo() const { return rpo_; }
+    size_t numBlocks() const { return succs_.size(); }
+
+  private:
+    std::vector<std::vector<uint32_t>> succs_;
+    std::vector<std::vector<uint32_t>> preds_;
+    std::vector<uint32_t> rpo_;
+};
+
+/**
+ * Immediate dominators computed with the classic Cooper-Harvey-Kennedy
+ * iterative algorithm over the CFG's reverse postorder.
+ */
+class Dominators
+{
+  public:
+    Dominators(const Function &fn, const Cfg &cfg);
+
+    /** Immediate dominator of @a bb (entry dominates itself). */
+    uint32_t idom(uint32_t bb) const { return idom_[bb]; }
+    /** True if block @a a dominates block @a b. */
+    bool dominates(uint32_t a, uint32_t b) const;
+
+  private:
+    std::vector<uint32_t> idom_;
+};
+
+/**
+ * Per-register liveness: block-level live-in/live-out sets computed by
+ * a backwards iterative dataflow pass, for one register class.
+ */
+class Liveness
+{
+  public:
+    Liveness(const Function &fn, const Cfg &cfg, RegClass cls);
+
+    bool liveIn(uint32_t bb, uint32_t reg) const
+    {
+        return live_in_[bb][reg];
+    }
+    bool liveOut(uint32_t bb, uint32_t reg) const
+    {
+        return live_out_[bb][reg];
+    }
+
+  private:
+    std::vector<std::vector<bool>> live_in_;
+    std::vector<std::vector<bool>> live_out_;
+};
+
+/** Registers of class @a cls that instruction @a in reads. */
+std::vector<uint32_t> readsOfClass(const Instr &in, RegClass cls);
+
+/** The register of class @a cls that @a in writes, or kNoReg. */
+uint32_t writeOfClass(const Instr &in, RegClass cls);
+
+} // namespace bioperf::ir
+
+#endif // BIOPERF_IR_ANALYSIS_H_

@@ -1,0 +1,276 @@
+#include "ir/ir.h"
+
+#include <cassert>
+
+namespace bioperf::ir {
+
+InstrClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Shl: case Opcode::Shr:
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      case Opcode::Select: case Opcode::MovImm: case Opcode::Mov:
+      case Opcode::CvtFI:
+        return InstrClass::IntAlu;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+      case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+      case Opcode::FSelect: case Opcode::FMovImm: case Opcode::FMov:
+      case Opcode::CvtIF:
+        return InstrClass::FpAlu;
+      case Opcode::Load:
+        return InstrClass::Load;
+      case Opcode::FLoad:
+        return InstrClass::FpLoad;
+      case Opcode::Store:
+        return InstrClass::Store;
+      case Opcode::FStore:
+        return InstrClass::FpStore;
+      case Opcode::Prefetch:
+        return InstrClass::Prefetch;
+      case Opcode::Br:
+        return InstrClass::CondBranch;
+      case Opcode::Jmp:
+        return InstrClass::Jump;
+      case Opcode::Halt:
+        return InstrClass::Halt;
+    }
+    assert(false && "unknown opcode");
+    return InstrClass::Halt;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::FLoad;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::Store || op == Opcode::FStore;
+}
+
+bool
+hasMemOperand(Opcode op)
+{
+    return isLoad(op) || isStore(op) || op == Opcode::Prefetch;
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::Jmp || op == Opcode::Halt;
+}
+
+int
+numSrcs(const Instr &in)
+{
+    switch (in.op) {
+      case Opcode::MovImm: case Opcode::FMovImm:
+      case Opcode::Jmp: case Opcode::Halt:
+        return 0;
+      case Opcode::Load: case Opcode::FLoad: case Opcode::Prefetch:
+        return 0; // address regs live in mem; see gatherReads()
+      case Opcode::Store: case Opcode::FStore:
+        return 1; // the stored value
+      case Opcode::Mov: case Opcode::FMov:
+      case Opcode::CvtIF: case Opcode::CvtFI:
+      case Opcode::Br:
+        return 1;
+      case Opcode::Select: case Opcode::FSelect:
+        return 3;
+      default:
+        return in.hasImm ? 1 : 2;
+    }
+}
+
+RegClass
+srcClass(const Instr &in, int i)
+{
+    switch (in.op) {
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+      case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+      case Opcode::FMov: case Opcode::CvtFI:
+      case Opcode::FStore:
+        return RegClass::Fp;
+      case Opcode::FSelect:
+        return i == 0 ? RegClass::Int : RegClass::Fp;
+      default:
+        return RegClass::Int;
+    }
+}
+
+RegClass
+dstClass(const Instr &in)
+{
+    switch (in.op) {
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FSelect: case Opcode::FMovImm:
+      case Opcode::FMov: case Opcode::CvtIF: case Opcode::FLoad:
+        return RegClass::Fp;
+      case Opcode::Store: case Opcode::FStore: case Opcode::Prefetch:
+      case Opcode::Br: case Opcode::Jmp: case Opcode::Halt:
+        return RegClass::None;
+      default:
+        return RegClass::Int;
+    }
+}
+
+void
+gatherReads(const Instr &in,
+            std::vector<std::pair<RegClass, uint32_t>> &out)
+{
+    const int n = numSrcs(in);
+    for (int i = 0; i < n; i++) {
+        if (in.src[i] != kNoReg)
+            out.emplace_back(srcClass(in, i), in.src[i]);
+    }
+    if (hasMemOperand(in.op)) {
+        if (in.mem.base != kNoReg)
+            out.emplace_back(RegClass::Int, in.mem.base);
+        if (in.mem.index != kNoReg)
+            out.emplace_back(RegClass::Int, in.mem.index);
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::CmpGt: return "cmpgt";
+      case Opcode::CmpGe: return "cmpge";
+      case Opcode::Select: return "select";
+      case Opcode::MovImm: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FCmpEq: return "fcmpeq";
+      case Opcode::FCmpNe: return "fcmpne";
+      case Opcode::FCmpLt: return "fcmplt";
+      case Opcode::FCmpLe: return "fcmple";
+      case Opcode::FCmpGt: return "fcmpgt";
+      case Opcode::FCmpGe: return "fcmpge";
+      case Opcode::FSelect: return "fselect";
+      case Opcode::FMovImm: return "fmovi";
+      case Opcode::FMov: return "fmov";
+      case Opcode::CvtIF: return "cvtif";
+      case Opcode::CvtFI: return "cvtfi";
+      case Opcode::Load: return "ld";
+      case Opcode::FLoad: return "fld";
+      case Opcode::Store: return "st";
+      case Opcode::FStore: return "fst";
+      case Opcode::Prefetch: return "prefetch";
+      case Opcode::Br: return "br";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+size_t
+Function::numInstrs() const
+{
+    size_t n = 0;
+    for (const auto &bb : blocks)
+        n += bb.instrs.size();
+    return n;
+}
+
+size_t
+Function::numInstrsOfClass(InstrClass c) const
+{
+    size_t n = 0;
+    for (const auto &bb : blocks)
+        for (const auto &in : bb.instrs)
+            if (classOf(in.op) == c)
+                n++;
+    return n;
+}
+
+Program::Program(std::string name)
+    : name_(std::move(name))
+{
+}
+
+int32_t
+Program::addRegion(const std::string &name, uint32_t elem_size,
+                   uint64_t count)
+{
+    Region r;
+    r.name = name;
+    r.elemSize = elem_size;
+    r.sizeBytes = elem_size * count;
+    // Align every region to a cache block so synthetic arrays never
+    // share a block, mirroring separately allocated C arrays.
+    next_addr_ = (next_addr_ + 63) & ~uint64_t(63);
+    r.base = next_addr_;
+    next_addr_ += r.sizeBytes;
+    regions_.push_back(std::move(r));
+    return static_cast<int32_t>(regions_.size() - 1);
+}
+
+int32_t
+Program::regionContaining(uint64_t addr) const
+{
+    for (size_t i = 0; i < regions_.size(); i++) {
+        if (addr >= regions_[i].base &&
+            addr < regions_[i].base + regions_[i].sizeBytes) {
+            return static_cast<int32_t>(i);
+        }
+    }
+    return -1;
+}
+
+Function &
+Program::addFunction(const std::string &name)
+{
+    functions_.push_back(std::make_unique<Function>());
+    functions_.back()->name = name;
+    return *functions_.back();
+}
+
+Function *
+Program::findFunction(const std::string &name)
+{
+    for (auto &f : functions_)
+        if (f->name == name)
+            return f.get();
+    return nullptr;
+}
+
+void
+Program::renumber()
+{
+    next_sid_ = 0;
+    for (auto &f : functions_)
+        for (auto &bb : f->blocks)
+            for (auto &in : bb.instrs)
+                in.sid = next_sid_++;
+}
+
+} // namespace bioperf::ir

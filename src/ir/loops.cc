@@ -1,0 +1,74 @@
+#include "ir/loops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bioperf::ir {
+
+LoopAnalysis::LoopAnalysis(const Function &fn, const Cfg &cfg,
+                           const Dominators &dom)
+    : fn_(fn)
+{
+    // Collect back edges grouped by header.
+    std::map<uint32_t, std::vector<uint32_t>> latches_by_header;
+    for (uint32_t bb = 0; bb < cfg.numBlocks(); bb++) {
+        for (uint32_t s : cfg.succs(bb)) {
+            if (dom.dominates(s, bb))
+                latches_by_header[s].push_back(bb);
+        }
+    }
+
+    for (auto &[header, latches] : latches_by_header) {
+        NaturalLoop loop;
+        loop.header = header;
+        loop.latches = latches;
+
+        // Body = header + all blocks that reach a latch without
+        // passing through the header (reverse flood fill).
+        std::vector<bool> in_loop(cfg.numBlocks(), false);
+        in_loop[header] = true;
+        std::vector<uint32_t> work = latches;
+        while (!work.empty()) {
+            const uint32_t bb = work.back();
+            work.pop_back();
+            if (in_loop[bb])
+                continue;
+            in_loop[bb] = true;
+            for (uint32_t p : cfg.preds(bb))
+                work.push_back(p);
+        }
+        loop.blocks.push_back(header);
+        for (uint32_t bb = 0; bb < cfg.numBlocks(); bb++)
+            if (in_loop[bb] && bb != header)
+                loop.blocks.push_back(bb);
+        loops_.push_back(std::move(loop));
+    }
+}
+
+std::vector<InductionVar>
+LoopAnalysis::inductionVars(const NaturalLoop &loop) const
+{
+    // Count integer definitions per register inside the loop and
+    // remember the candidate update instruction.
+    std::map<uint32_t, int> def_count;
+    std::map<uint32_t, const Instr *> updater;
+    for (uint32_t bb : loop.blocks) {
+        for (const Instr &in : fn_.blocks[bb].instrs) {
+            if (dstClass(in) != RegClass::Int)
+                continue;
+            def_count[in.dst]++;
+            if (in.op == Opcode::Add && in.hasImm &&
+                in.src[0] == in.dst) {
+                updater[in.dst] = &in;
+            }
+        }
+    }
+    std::vector<InductionVar> out;
+    for (auto &[reg, in] : updater) {
+        if (def_count[reg] == 1)
+            out.push_back({ reg, in->imm });
+    }
+    return out;
+}
+
+} // namespace bioperf::ir

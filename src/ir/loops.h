@@ -1,0 +1,66 @@
+#ifndef BIOPERF_IR_LOOPS_H_
+#define BIOPERF_IR_LOOPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/analysis.h"
+#include "ir/ir.h"
+
+namespace bioperf::ir {
+
+/** A natural loop: header plus the body reached from its back edges. */
+struct NaturalLoop
+{
+    uint32_t header = kNoBlock;
+    /** All blocks in the loop, header first. */
+    std::vector<uint32_t> blocks;
+    /** Sources of the back edges into the header. */
+    std::vector<uint32_t> latches;
+
+    bool contains(uint32_t bb) const
+    {
+        for (uint32_t b : blocks)
+            if (b == bb)
+                return true;
+        return false;
+    }
+};
+
+/** A basic induction variable: reg updated once per iteration. */
+struct InductionVar
+{
+    uint32_t reg = kNoReg;
+    int64_t step = 0;
+};
+
+/**
+ * Natural-loop detection over the dominator tree (one loop per
+ * header; back edges into the same header are merged), plus basic
+ * induction-variable recognition — the substrate for loop-aware
+ * passes such as software prefetch insertion.
+ */
+class LoopAnalysis
+{
+  public:
+    LoopAnalysis(const Function &fn, const Cfg &cfg,
+                 const Dominators &dom);
+
+    const std::vector<NaturalLoop> &loops() const { return loops_; }
+
+    /**
+     * Basic induction variables of @a loop: integer registers whose
+     * only definition inside the loop is `add r, r, #imm` (the shape
+     * every counted loop in this IR has).
+     */
+    std::vector<InductionVar>
+    inductionVars(const NaturalLoop &loop) const;
+
+  private:
+    const Function &fn_;
+    std::vector<NaturalLoop> loops_;
+};
+
+} // namespace bioperf::ir
+
+#endif // BIOPERF_IR_LOOPS_H_

@@ -1,0 +1,18 @@
+#ifndef BIOPERF_IR_PRINTER_H_
+#define BIOPERF_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace bioperf::ir {
+
+/** Renders one instruction as assembly-like text. */
+std::string toString(const Program &prog, const Instr &in);
+
+/** Renders a whole function, block by block. */
+std::string toString(const Program &prog, const Function &fn);
+
+} // namespace bioperf::ir
+
+#endif // BIOPERF_IR_PRINTER_H_

@@ -1,0 +1,98 @@
+#include "ir/verify.h"
+
+#include <sstream>
+
+namespace bioperf::ir {
+
+namespace {
+
+std::string
+problem(const Function &fn, const BasicBlock &bb, const std::string &what)
+{
+    std::ostringstream os;
+    os << fn.name << ": block " << bb.id << " (" << bb.name << "): " << what;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+verify(const Program &prog, const Function &fn)
+{
+    const uint32_t nblocks = static_cast<uint32_t>(fn.blocks.size());
+    if (nblocks == 0)
+        return fn.name + ": function has no blocks";
+
+    for (const auto &bb : fn.blocks) {
+        if (bb.instrs.empty())
+            return problem(fn, bb, "empty block");
+        if (!isTerminator(bb.instrs.back().op))
+            return problem(fn, bb, "missing terminator");
+        for (size_t i = 0; i + 1 < bb.instrs.size(); i++) {
+            if (isTerminator(bb.instrs[i].op))
+                return problem(fn, bb, "terminator not in last position");
+        }
+        for (const auto &in : bb.instrs) {
+            if (in.op == Opcode::Br) {
+                if (in.taken >= nblocks || in.notTaken >= nblocks)
+                    return problem(fn, bb, "branch target out of range");
+                if (in.src[0] == kNoReg)
+                    return problem(fn, bb, "branch without condition");
+            }
+            if (in.op == Opcode::Jmp && in.taken >= nblocks)
+                return problem(fn, bb, "jump target out of range");
+
+            const int n = numSrcs(in);
+            for (int s = 0; s < n; s++) {
+                if (in.src[s] == kNoReg)
+                    return problem(fn, bb, std::string("missing source ") +
+                                   std::to_string(s) + " on " +
+                                   opcodeName(in.op));
+                const uint32_t limit = srcClass(in, s) == RegClass::Fp
+                    ? fn.numFpRegs : fn.numIntRegs;
+                if (in.src[s] >= limit)
+                    return problem(fn, bb, std::string("source register "
+                                   "out of range on ") + opcodeName(in.op));
+            }
+            if (dstClass(in) != RegClass::None) {
+                const uint32_t limit = dstClass(in) == RegClass::Fp
+                    ? fn.numFpRegs : fn.numIntRegs;
+                if (in.dst == kNoReg || in.dst >= limit)
+                    return problem(fn, bb, std::string("bad destination "
+                                   "register on ") + opcodeName(in.op));
+            }
+            if (hasMemOperand(in.op)) {
+                const uint8_t sz = in.mem.size;
+                if (sz != 1 && sz != 2 && sz != 4 && sz != 8)
+                    return problem(fn, bb, "bad memory operand size");
+                if ((in.op == Opcode::FLoad || in.op == Opcode::FStore) &&
+                    sz != 8) {
+                    return problem(fn, bb, "fp memory access must be 8B");
+                }
+                if (in.mem.region >= 0 &&
+                    in.mem.region >=
+                        static_cast<int32_t>(prog.numRegions())) {
+                    return problem(fn, bb, "region id out of range");
+                }
+                if (in.mem.base != kNoReg && in.mem.base >= fn.numIntRegs)
+                    return problem(fn, bb, "address base out of range");
+                if (in.mem.index != kNoReg && in.mem.index >= fn.numIntRegs)
+                    return problem(fn, bb, "address index out of range");
+            }
+        }
+    }
+    return "";
+}
+
+std::string
+verify(const Program &prog)
+{
+    for (size_t i = 0; i < prog.numFunctions(); i++) {
+        std::string err = verify(prog, prog.function(i));
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+} // namespace bioperf::ir

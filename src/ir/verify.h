@@ -1,0 +1,28 @@
+#ifndef BIOPERF_IR_VERIFY_H_
+#define BIOPERF_IR_VERIFY_H_
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace bioperf::ir {
+
+/**
+ * Structural validity checks for a function:
+ *  - every block ends in exactly one terminator, placed last;
+ *  - branch/jump targets are in range;
+ *  - register operands are below the declared register counts;
+ *  - memory operands have a plausible size and scale;
+ *  - memory region ids are valid (or -1).
+ *
+ * @return empty string when valid, otherwise a description of the
+ *         first problem found.
+ */
+std::string verify(const Program &prog, const Function &fn);
+
+/** Verifies every function in @a prog. */
+std::string verify(const Program &prog);
+
+} // namespace bioperf::ir
+
+#endif // BIOPERF_IR_VERIFY_H_

@@ -1,0 +1,115 @@
+#include "mem/cache.h"
+
+#include <cassert>
+
+namespace bioperf::mem {
+
+namespace {
+
+bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    assert(isPowerOfTwo(config_.blockSize));
+    assert(config_.assoc >= 1);
+    assert(config_.sizeBytes % (config_.blockSize * config_.assoc) == 0);
+    lines_.assign(config_.numSets() * config_.assoc, Line{});
+}
+
+Cache::Result
+Cache::access(uint64_t addr, bool is_write)
+{
+    Result res;
+    clock_++;
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line *ways = &lines_[set * config_.assoc];
+
+    // Hit path.
+    for (uint32_t w = 0; w < config_.assoc; w++) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].lastUse = clock_;
+            if (is_write) {
+                if (config_.writeBack)
+                    ways[w].dirty = true;
+                // Write-through caches forward the write downstream,
+                // which the hierarchy accounts for separately.
+            }
+            hits_++;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    misses_++;
+    if (is_write && !config_.writeAllocate)
+        return res; // write miss bypasses the cache entirely
+
+    // Choose victim: an invalid way, else the LRU way.
+    uint32_t victim = 0;
+    uint64_t best = UINT64_MAX;
+    for (uint32_t w = 0; w < config_.assoc; w++) {
+        if (!ways[w].valid) {
+            victim = w;
+            best = 0;
+            break;
+        }
+        if (ways[w].lastUse < best) {
+            best = ways[w].lastUse;
+            victim = w;
+        }
+    }
+
+    if (ways[victim].valid && ways[victim].dirty) {
+        writebacks_++;
+        res.writeback = true;
+        // Reconstruct the victim's block address from tag and set.
+        res.writebackAddr =
+            (ways[victim].tag * config_.numSets() + set) *
+            config_.blockSize;
+    }
+
+    ways[victim].valid = true;
+    ways[victim].dirty = is_write && config_.writeBack;
+    ways[victim].tag = tag;
+    ways[victim].lastUse = clock_;
+    return res;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    const Line *ways = &lines_[set * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; w++)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    clock_ = hits_ = misses_ = writebacks_ = 0;
+}
+
+double
+Cache::missRate() const
+{
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses_) /
+                            static_cast<double>(total);
+}
+
+} // namespace bioperf::mem

@@ -1,0 +1,86 @@
+#ifndef BIOPERF_MEM_CACHE_H_
+#define BIOPERF_MEM_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bioperf::mem {
+
+/** Geometry and policy of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 64 * 1024;
+    uint32_t assoc = 2;       ///< ways per set; 1 = direct-mapped
+    uint32_t blockSize = 64;  ///< bytes, power of two
+    bool writeBack = true;    ///< false = write-through
+    bool writeAllocate = true;
+
+    uint64_t numSets() const { return sizeBytes / (blockSize * assoc); }
+};
+
+/**
+ * A set-associative cache with true-LRU replacement, write-back and
+ * write-allocate policies (the Table 3 configuration of the paper's
+ * ATOM cache model).
+ */
+class Cache
+{
+  public:
+    /** Outcome of one access. */
+    struct Result
+    {
+        bool hit = false;
+        /** A dirty block was evicted and must be written downstream. */
+        bool writeback = false;
+        /** Block-aligned address of the evicted dirty block. */
+        uint64_t writebackAddr = 0;
+    };
+
+    explicit Cache(const CacheConfig &config);
+
+    Result access(uint64_t addr, bool is_write);
+
+    /** True if the block containing @a addr is currently resident. */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidates all blocks and clears statistics. */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+    double missRate() const;
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    size_t setIndex(uint64_t addr) const
+    {
+        return (addr / config_.blockSize) % config_.numSets();
+    }
+    uint64_t tagOf(uint64_t addr) const
+    {
+        return addr / config_.blockSize / config_.numSets();
+    }
+
+    CacheConfig config_;
+    std::vector<Line> lines_; ///< numSets x assoc, row-major
+    uint64_t clock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+} // namespace bioperf::mem
+
+#endif // BIOPERF_MEM_CACHE_H_

@@ -1,0 +1,79 @@
+#ifndef BIOPERF_MEM_HIERARCHY_H_
+#define BIOPERF_MEM_HIERARCHY_H_
+
+#include <cstdint>
+
+#include "mem/cache.h"
+
+namespace bioperf::mem {
+
+/** Where an access was finally satisfied. */
+enum class Level : uint8_t { L1, L2, Memory };
+
+/**
+ * Latency parameters of the hierarchy, in cycles, matching the
+ * paper's AMAT arithmetic: total latency = l1HitLatency, plus
+ * l2Penalty on an L1 miss, plus memPenalty on an L2 miss
+ * (AMAT = 3 + m1 * (5 + m2 * 72) for the reference machine).
+ */
+struct LatencyConfig
+{
+    uint32_t l1HitLatency = 3;
+    uint32_t l2Penalty = 5;
+    uint32_t memPenalty = 72;
+};
+
+/**
+ * Two-level data cache hierarchy (L1D + unified L2) over an ideal
+ * main memory, with write-back traffic propagated downstream.
+ */
+class CacheHierarchy
+{
+  public:
+    struct Access
+    {
+        Level level = Level::L1;
+        uint32_t latency = 0;
+    };
+
+    CacheHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                   const LatencyConfig &lat = LatencyConfig{});
+
+    /** The Table 3 reference configuration (Alpha 21264 / ATOM model). */
+    static CacheHierarchy referenceConfig();
+
+    Access access(uint64_t addr, bool is_write);
+
+    void reset();
+
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const LatencyConfig &latencies() const { return lat_; }
+
+    uint64_t memoryAccesses() const { return mem_accesses_; }
+
+    /**
+     * Local miss rates and the overall (to-memory) rate. The L2 rate
+     * counts only demand accesses, not L1 write-back traffic, so it
+     * matches the paper's per-load accounting.
+     */
+    double l1LocalMissRate() const { return l1_.missRate(); }
+    double l2LocalMissRate() const;
+    double overallMissRate() const;
+
+    /** Average memory access time in cycles over all accesses so far. */
+    double amat() const;
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    LatencyConfig lat_;
+    uint64_t mem_accesses_ = 0;
+    uint64_t demand_accesses_ = 0;
+    uint64_t l2_demand_accesses_ = 0;
+    uint64_t l2_demand_misses_ = 0;
+};
+
+} // namespace bioperf::mem
+
+#endif // BIOPERF_MEM_HIERARCHY_H_

@@ -1,0 +1,52 @@
+#include "opt/dce.h"
+
+#include <set>
+#include <vector>
+
+#include "ir/analysis.h"
+
+namespace bioperf::opt {
+
+PassResult
+DcePass::run(ir::Program &, ir::Function &fn)
+{
+    PassResult result;
+
+    for (;;) {
+        std::set<std::pair<ir::RegClass, uint32_t>> used;
+        std::vector<std::pair<ir::RegClass, uint32_t>> reads;
+        for (const auto &bb : fn.blocks) {
+            for (const auto &in : bb.instrs) {
+                reads.clear();
+                ir::gatherReads(in, reads);
+                for (auto &r : reads)
+                    used.insert(r);
+            }
+        }
+
+        uint32_t removed = 0;
+        for (auto &bb : fn.blocks) {
+            std::vector<ir::Instr> kept;
+            kept.reserve(bb.instrs.size());
+            for (const auto &in : bb.instrs) {
+                const ir::RegClass dcls = ir::dstClass(in);
+                const bool removable =
+                    dcls != ir::RegClass::None &&
+                    !used.count({dcls, in.dst});
+                if (removable) {
+                    removed++;
+                } else {
+                    kept.push_back(in);
+                }
+            }
+            bb.instrs = std::move(kept);
+        }
+        if (removed == 0)
+            break;
+        result.changed = true;
+        result.transformed += removed;
+    }
+    return result;
+}
+
+} // namespace bioperf::opt

@@ -1,0 +1,23 @@
+#ifndef BIOPERF_OPT_DCE_H_
+#define BIOPERF_OPT_DCE_H_
+
+#include "opt/pass.h"
+
+namespace bioperf::opt {
+
+/**
+ * Dead code elimination: removes register-producing instructions
+ * (including loads) whose results are never read anywhere in the
+ * function. Runs to a fixpoint. Stores, branches and jumps are never
+ * removed.
+ */
+class DcePass : public Pass
+{
+  public:
+    const char *name() const override { return "dce"; }
+    PassResult run(ir::Program &prog, ir::Function &fn) override;
+};
+
+} // namespace bioperf::opt
+
+#endif // BIOPERF_OPT_DCE_H_

@@ -1,0 +1,129 @@
+#include "opt/if_conversion.h"
+
+#include "ir/analysis.h"
+
+namespace bioperf::opt {
+
+namespace {
+
+using ir::Instr;
+using ir::Opcode;
+
+/** Safe to execute speculatively and convertible to a select. */
+bool
+isConvertible(const Instr &in)
+{
+    switch (ir::classOf(in.op)) {
+      case ir::InstrClass::IntAlu:
+      case ir::InstrClass::FpAlu:
+        return ir::dstClass(in) != ir::RegClass::None;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+PassResult
+IfConversionPass::run(ir::Program &prog, ir::Function &fn)
+{
+    PassResult result;
+    const ir::Cfg cfg(fn);
+
+    for (auto &bb : fn.blocks) {
+        Instr &term = bb.terminator();
+        if (term.op != Opcode::Br)
+            continue;
+        const uint32_t then_id = term.taken;
+        const uint32_t join_id = term.notTaken;
+        if (then_id == bb.id || then_id == join_id)
+            continue;
+        ir::BasicBlock &then_bb = fn.blocks[then_id];
+        if (cfg.preds(then_id).size() != 1)
+            continue;
+        const Instr &then_term = then_bb.terminator();
+        if (then_term.op != Opcode::Jmp || then_term.taken != join_id)
+            continue;
+        if (then_bb.instrs.size() - 1 > max_instrs_)
+            continue;
+        bool ok = true;
+        for (size_t i = 0; i + 1 < then_bb.instrs.size(); i++)
+            if (!isConvertible(then_bb.instrs[i]))
+                ok = false;
+        if (!ok)
+            continue;
+
+        // Rewrite: A's body gains (per-instr compute + select), A's
+        // terminator becomes jmp join.
+        const uint32_t cond = term.src[0];
+        std::vector<Instr> appended;
+
+        // Preserve the condition only if a converted instruction
+        // overwrites its register (rare).
+        bool cond_clobbered = false;
+        for (size_t i = 0; i + 1 < then_bb.instrs.size(); i++) {
+            if (ir::dstClass(then_bb.instrs[i]) == ir::RegClass::Int &&
+                then_bb.instrs[i].dst == cond) {
+                cond_clobbered = true;
+            }
+        }
+        uint32_t cond_copy = cond;
+        if (cond_clobbered) {
+            cond_copy = fn.numIntRegs++;
+            Instr mv;
+            mv.op = Opcode::Mov;
+            mv.dst = cond_copy;
+            mv.src[0] = cond;
+            mv.sid = prog.nextSid();
+            mv.line = term.line;
+            appended.push_back(mv);
+        }
+
+        for (size_t i = 0; i + 1 < then_bb.instrs.size(); i++) {
+            Instr compute = then_bb.instrs[i];
+            const ir::RegClass dcls = ir::dstClass(compute);
+            const uint32_t orig_dst = compute.dst;
+            const uint32_t tmp = dcls == ir::RegClass::Fp
+                ? fn.numFpRegs++ : fn.numIntRegs++;
+            compute.dst = tmp;
+            compute.sid = prog.nextSid();
+            appended.push_back(compute);
+
+            Instr sel;
+            sel.op = dcls == ir::RegClass::Fp ? Opcode::FSelect
+                                              : Opcode::Select;
+            sel.dst = orig_dst;
+            sel.src[0] = cond_copy;
+            sel.src[1] = tmp;
+            sel.src[2] = orig_dst;
+            sel.sid = prog.nextSid();
+            sel.line = compute.line;
+            appended.push_back(sel);
+        }
+
+        Instr jmp;
+        jmp.op = Opcode::Jmp;
+        jmp.taken = join_id;
+        jmp.sid = prog.nextSid();
+        jmp.line = term.line;
+
+        bb.instrs.pop_back(); // drop the branch
+        for (auto &in : appended)
+            bb.instrs.push_back(in);
+        bb.instrs.push_back(jmp);
+
+        // The then-block is now unreachable; make it a bare halt so
+        // it stays structurally valid.
+        then_bb.instrs.clear();
+        Instr halt;
+        halt.op = Opcode::Halt;
+        halt.sid = prog.nextSid();
+        then_bb.instrs.push_back(halt);
+
+        result.changed = true;
+        result.transformed++;
+    }
+    return result;
+}
+
+} // namespace bioperf::opt

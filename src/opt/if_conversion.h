@@ -1,0 +1,41 @@
+#ifndef BIOPERF_OPT_IF_CONVERSION_H_
+#define BIOPERF_OPT_IF_CONVERSION_H_
+
+#include "opt/pass.h"
+
+namespace bioperf::opt {
+
+/**
+ * If-conversion: rewrites small branch hammocks into straight-line
+ * code with conditional moves.
+ *
+ * Pattern: a block A ending in `br cond -> T / J`, where T has A as
+ * its only predecessor, contains at most `maxInstrs` side-effect-free
+ * ALU instructions, and falls through to J. Every `dst = f(...)` in T
+ * becomes `tmp = f(...); dst = select(cond, tmp, dst)` appended to A,
+ * and A jumps unconditionally to J.
+ *
+ * This is the "conditional branches transformed into faster
+ * conditional move operations" effect the paper observes after its
+ * source-level load scheduling (Figures 6 and 7): once the stores are
+ * pushed out of the THEN blocks, the compiler can if-convert the
+ * remaining `if (tempX > tempY) tempY = tempX;` statements.
+ */
+class IfConversionPass : public Pass
+{
+  public:
+    explicit IfConversionPass(uint32_t max_instrs = 4)
+        : max_instrs_(max_instrs)
+    {
+    }
+
+    const char *name() const override { return "if-conversion"; }
+    PassResult run(ir::Program &prog, ir::Function &fn) override;
+
+  private:
+    uint32_t max_instrs_;
+};
+
+} // namespace bioperf::opt
+
+#endif // BIOPERF_OPT_IF_CONVERSION_H_

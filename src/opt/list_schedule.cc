@@ -1,0 +1,139 @@
+#include "opt/list_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "ir/analysis.h"
+
+namespace bioperf::opt {
+
+namespace {
+
+using ir::Instr;
+using ir::RegClass;
+
+} // namespace
+
+PassResult
+ListSchedulePass::run(ir::Program &, ir::Function &fn)
+{
+    PassResult result;
+
+    for (auto &bb : fn.blocks) {
+        const size_t n = bb.instrs.size();
+        if (n <= 2)
+            continue;
+        const size_t body = n - 1; // keep the terminator last
+
+        // --- dependence DAG over [0, body) -------------------------------
+        std::vector<std::vector<size_t>> succs(body);
+        std::vector<uint32_t> indeg(body, 0);
+        auto add_edge = [&](size_t from, size_t to) {
+            succs[from].push_back(to);
+            indeg[to]++;
+        };
+
+        std::map<std::pair<RegClass, uint32_t>, size_t> last_def;
+        std::map<std::pair<RegClass, uint32_t>, std::vector<size_t>>
+            readers;
+        std::vector<size_t> mem_ops;
+        std::vector<std::pair<RegClass, uint32_t>> reads;
+
+        for (size_t i = 0; i < body; i++) {
+            const Instr &in = bb.instrs[i];
+            reads.clear();
+            ir::gatherReads(in, reads);
+            for (auto &key : reads) {
+                auto it = last_def.find(key);
+                if (it != last_def.end())
+                    add_edge(it->second, i); // RAW
+                readers[key].push_back(i);
+            }
+            const RegClass dcls = ir::dstClass(in);
+            if (dcls != RegClass::None) {
+                const auto key = std::make_pair(dcls, in.dst);
+                auto it = last_def.find(key);
+                if (it != last_def.end())
+                    add_edge(it->second, i); // WAW
+                for (size_t r : readers[key])
+                    if (r != i)
+                        add_edge(r, i); // WAR
+                readers[key].clear();
+                last_def[key] = i;
+            }
+            if (ir::hasMemOperand(in.op)) {
+                const bool in_reads = !ir::isStore(in.op);
+                for (size_t m : mem_ops) {
+                    const Instr &prev = bb.instrs[m];
+                    const bool prev_reads = !ir::isStore(prev.op);
+                    if (prev_reads && in_reads)
+                        continue; // loads/prefetches reorder freely
+                    if (oracle_.mayAlias(prev.mem, in.mem))
+                        add_edge(m, i);
+                }
+                mem_ops.push_back(i);
+            }
+        }
+
+        // --- priorities: critical-path height -----------------------------
+        auto latency_of = [&](const Instr &in) -> uint32_t {
+            if (ir::isLoad(in.op))
+                return load_latency_;
+            if (ir::classOf(in.op) == ir::InstrClass::FpAlu)
+                return 4;
+            return 1;
+        };
+        std::vector<uint32_t> height(body, 0);
+        for (size_t i = body; i-- > 0;) {
+            uint32_t h = 0;
+            for (size_t s : succs[i])
+                h = std::max(h, height[s]);
+            height[i] = h + latency_of(bb.instrs[i]);
+        }
+
+        // --- greedy list scheduling ----------------------------------------
+        std::vector<size_t> order;
+        order.reserve(body);
+        std::vector<size_t> ready;
+        for (size_t i = 0; i < body; i++)
+            if (indeg[i] == 0)
+                ready.push_back(i);
+        while (!ready.empty()) {
+            size_t best = 0;
+            for (size_t k = 1; k < ready.size(); k++) {
+                const size_t a = ready[k];
+                const size_t b = ready[best];
+                if (height[a] > height[b] ||
+                    (height[a] == height[b] && a < b)) {
+                    best = k;
+                }
+            }
+            const size_t pick = ready[best];
+            ready.erase(ready.begin() + static_cast<long>(best));
+            order.push_back(pick);
+            for (size_t s : succs[pick])
+                if (--indeg[s] == 0)
+                    ready.push_back(s);
+        }
+
+        bool changed = false;
+        for (size_t i = 0; i < body; i++)
+            if (order[i] != i)
+                changed = true;
+        if (!changed)
+            continue;
+
+        std::vector<Instr> rescheduled;
+        rescheduled.reserve(n);
+        for (size_t i : order)
+            rescheduled.push_back(bb.instrs[i]);
+        rescheduled.push_back(bb.instrs.back());
+        bb.instrs = std::move(rescheduled);
+        result.changed = true;
+        result.transformed++;
+    }
+    return result;
+}
+
+} // namespace bioperf::opt

@@ -1,0 +1,40 @@
+#ifndef BIOPERF_OPT_LIST_SCHEDULE_H_
+#define BIOPERF_OPT_LIST_SCHEDULE_H_
+
+#include "opt/pass.h"
+
+namespace bioperf::opt {
+
+/**
+ * Latency-aware list scheduling within each basic block.
+ *
+ * Builds the block's dependence DAG (register RAW/WAR/WAW plus memory
+ * ordering filtered through the DisambiguationOracle) and re-emits
+ * instructions greedily by critical-path height with loads weighted
+ * by the L1 hit latency. The effect is the compiler's classic local
+ * scheduling: move independent instructions between a load and its
+ * first use so the multicycle hit latency is covered — the mechanism
+ * the paper credits optimizing compilers with *inside* basic blocks
+ * (Section 1), which breaks down only across the branch boundaries
+ * the other passes address.
+ */
+class ListSchedulePass : public Pass
+{
+  public:
+    explicit ListSchedulePass(DisambiguationOracle oracle,
+                              uint32_t load_latency = 3)
+        : oracle_(oracle), load_latency_(load_latency)
+    {
+    }
+
+    const char *name() const override { return "list-schedule"; }
+    PassResult run(ir::Program &prog, ir::Function &fn) override;
+
+  private:
+    DisambiguationOracle oracle_;
+    uint32_t load_latency_;
+};
+
+} // namespace bioperf::opt
+
+#endif // BIOPERF_OPT_LIST_SCHEDULE_H_

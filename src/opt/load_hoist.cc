@@ -1,0 +1,162 @@
+#include "opt/load_hoist.h"
+
+#include <set>
+#include <vector>
+
+#include "ir/analysis.h"
+
+namespace bioperf::opt {
+
+namespace {
+
+using ir::Instr;
+using ir::kNoReg;
+using ir::RegClass;
+
+struct RegSet
+{
+    std::set<std::pair<RegClass, uint32_t>> s;
+
+    void add(RegClass c, uint32_t r) { s.insert({c, r}); }
+    bool has(RegClass c, uint32_t r) const { return s.count({c, r}) > 0; }
+};
+
+} // namespace
+
+uint32_t
+LoadHoistPass::runOnce(ir::Program &prog, ir::Function &fn)
+{
+    const ir::Cfg cfg(fn);
+    const ir::Liveness live_int(fn, cfg, RegClass::Int);
+    const ir::Liveness live_fp(fn, cfg, RegClass::Fp);
+
+    auto live_in = [&](uint32_t bb, RegClass c, uint32_t r) {
+        return c == RegClass::Fp ? live_fp.liveIn(bb, r)
+                                 : live_int.liveIn(bb, r);
+    };
+
+    uint32_t hoisted = 0;
+
+    for (auto &target : fn.blocks) {
+        const auto &preds = cfg.preds(target.id);
+        if (preds.empty())
+            continue;
+        bool preds_ok = true;
+        for (uint32_t p : preds)
+            if (p == target.id)
+                preds_ok = false; // self loop: nothing to gain
+        if (!preds_ok)
+            continue;
+
+        RegSet defined;
+        RegSet used;
+        std::vector<const ir::MemRef *> prior_stores;
+        std::vector<size_t> to_hoist;
+        std::vector<std::pair<RegClass, uint32_t>> reads;
+
+        for (size_t i = 0; i + 1 < target.instrs.size(); i++) {
+            const Instr &in = target.instrs[i];
+
+            bool hoist = false;
+            if (ir::isLoad(in.op) && in.mem.region >= 0) {
+                hoist = true;
+                // Address must be computable at the predecessors.
+                if (in.mem.base != kNoReg &&
+                    defined.has(RegClass::Int, in.mem.base))
+                    hoist = false;
+                if (in.mem.index != kNoReg &&
+                    defined.has(RegClass::Int, in.mem.index))
+                    hoist = false;
+                // No may-alias store may intervene.
+                for (const ir::MemRef *st : prior_stores)
+                    if (oracle_.mayAlias(in.mem, *st))
+                        hoist = false;
+                // The destination must be untouched above the load.
+                const RegClass dcls = ir::dstClass(in);
+                if (defined.has(dcls, in.dst) || used.has(dcls, in.dst))
+                    hoist = false;
+                // Clobbering dst early must be invisible elsewhere:
+                // not read by any predecessor's terminator, not live
+                // into any sibling successor.
+                for (uint32_t p : preds) {
+                    reads.clear();
+                    ir::gatherReads(fn.blocks[p].terminator(), reads);
+                    for (auto &[c, r] : reads)
+                        if (c == dcls && r == in.dst)
+                            hoist = false;
+                    for (uint32_t s : cfg.succs(p))
+                        if (s != target.id && live_in(s, dcls, in.dst))
+                            hoist = false;
+                }
+            }
+
+            if (hoist) {
+                to_hoist.push_back(i);
+                // Its reads happen earlier now, but recording them in
+                // `used` stays conservative and safe.
+                reads.clear();
+                ir::gatherReads(in, reads);
+                for (auto &[c, r] : reads)
+                    used.add(c, r);
+                continue;
+            }
+
+            reads.clear();
+            ir::gatherReads(in, reads);
+            for (auto &[c, r] : reads)
+                used.add(c, r);
+            const RegClass dcls = ir::dstClass(in);
+            if (dcls != RegClass::None)
+                defined.add(dcls, in.dst);
+            if (ir::isStore(in.op))
+                prior_stores.push_back(&in.mem);
+        }
+
+        if (to_hoist.empty())
+            continue;
+
+        // Clone the hoisted loads into every predecessor, before its
+        // terminator, preserving their relative order.
+        for (uint32_t p : preds) {
+            ir::BasicBlock &pred = fn.blocks[p];
+            const size_t at = pred.instrs.size() - 1;
+            size_t insert = at;
+            for (size_t idx : to_hoist) {
+                Instr clone = target.instrs[idx];
+                clone.sid = prog.nextSid();
+                pred.instrs.insert(pred.instrs.begin() +
+                                       static_cast<long>(insert),
+                                   clone);
+                insert++;
+            }
+        }
+        // Remove them from the target block (back to front).
+        for (auto it = to_hoist.rbegin(); it != to_hoist.rend(); ++it)
+            target.instrs.erase(target.instrs.begin() +
+                                static_cast<long>(*it));
+        hoisted += static_cast<uint32_t>(to_hoist.size());
+
+        // The CFG's liveness facts are stale once instructions moved;
+        // handle one block per analysis and let the fixpoint loop
+        // re-run with fresh analyses.
+        return hoisted;
+    }
+
+    return hoisted;
+}
+
+PassResult
+LoadHoistPass::run(ir::Program &prog, ir::Function &fn)
+{
+    PassResult result;
+    for (uint32_t iter = 0; iter < max_iterations_; iter++) {
+        const uint32_t n = runOnce(prog, fn);
+        if (n == 0)
+            break;
+        result.transformed += n;
+        result.changed = true;
+    }
+    return result;
+}
+
+} // namespace bioperf::opt

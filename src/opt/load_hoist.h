@@ -1,0 +1,51 @@
+#ifndef BIOPERF_OPT_LOAD_HOIST_H_
+#define BIOPERF_OPT_LOAD_HOIST_H_
+
+#include "opt/pass.h"
+
+namespace bioperf::opt {
+
+/**
+ * Alias-aware load hoisting: moves loads from a block into all of its
+ * predecessors, above the branches (and any may-alias stores) that
+ * precede them — the machine-level transformation of Figure 5.
+ *
+ * A load L in block T is hoisted when:
+ *  - its address registers are not defined in T before L, so the
+ *    address is computable at each predecessor's end;
+ *  - no store between T's entry and L may alias L according to the
+ *    DisambiguationOracle — with the conservative oracle intervening
+ *    stores block everything, reproducing the compiler's failure in
+ *    Section 2.2.2; with region-based disambiguation the hoist
+ *    becomes legal, reproducing the manual transformation;
+ *  - L names a known region, so the (possibly speculative) early
+ *    execution cannot fault;
+ *  - L's destination is not live into any other successor of any
+ *    predecessor, so clobbering it early is unobservable.
+ *
+ * The pass runs to a fixpoint (bounded by maxIterations), letting
+ * loads climb multi-block chains like BB5 -> BB3 -> BB1 in the
+ * paper's hmmsearch example.
+ */
+class LoadHoistPass : public Pass
+{
+  public:
+    explicit LoadHoistPass(DisambiguationOracle oracle,
+                           uint32_t max_iterations = 64)
+        : oracle_(oracle), max_iterations_(max_iterations)
+    {
+    }
+
+    const char *name() const override { return "load-hoist"; }
+    PassResult run(ir::Program &prog, ir::Function &fn) override;
+
+  private:
+    uint32_t runOnce(ir::Program &prog, ir::Function &fn);
+
+    DisambiguationOracle oracle_;
+    uint32_t max_iterations_;
+};
+
+} // namespace bioperf::opt
+
+#endif // BIOPERF_OPT_LOAD_HOIST_H_

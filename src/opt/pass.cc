@@ -1,0 +1,34 @@
+#include "opt/pass.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ir/verify.h"
+
+namespace bioperf::opt {
+
+void
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+uint32_t
+PassManager::run(ir::Program &prog, ir::Function &fn)
+{
+    uint32_t total = 0;
+    for (auto &pass : passes_) {
+        const PassResult r = pass->run(prog, fn);
+        total += r.transformed;
+        const std::string err = ir::verify(prog, fn);
+        if (!err.empty()) {
+            std::fprintf(stderr, "pass %s broke the IR: %s\n",
+                         pass->name(), err.c_str());
+            std::abort();
+        }
+    }
+    prog.renumber();
+    return total;
+}
+
+} // namespace bioperf::opt

@@ -1,0 +1,64 @@
+#include "opt/prefetch.h"
+
+#include <set>
+#include <utility>
+
+#include "ir/analysis.h"
+#include "ir/loops.h"
+
+namespace bioperf::opt {
+
+PassResult
+PrefetchInsertionPass::run(ir::Program &prog, ir::Function &fn)
+{
+    PassResult result;
+    const ir::Cfg cfg(fn);
+    const ir::Dominators dom(fn, cfg);
+    const ir::LoopAnalysis loops(fn, cfg, dom);
+
+    for (const auto &loop : loops.loops()) {
+        const auto ivs = loops.inductionVars(loop);
+        if (ivs.empty())
+            continue;
+        std::set<std::pair<int32_t, uint32_t>> covered;
+
+        for (uint32_t bb_id : loop.blocks) {
+            ir::BasicBlock &bb = fn.blocks[bb_id];
+            for (size_t i = 0; i < bb.instrs.size(); i++) {
+                const ir::Instr &in = bb.instrs[i];
+                if (!ir::isLoad(in.op) || in.mem.region < 0 ||
+                    in.mem.index == ir::kNoReg) {
+                    continue;
+                }
+                const ir::InductionVar *iv = nullptr;
+                for (const auto &candidate : ivs)
+                    if (candidate.reg == in.mem.index)
+                        iv = &candidate;
+                if (!iv)
+                    continue;
+                if (!covered
+                         .insert({ in.mem.region, in.mem.index })
+                         .second) {
+                    continue; // stream already prefetched
+                }
+
+                ir::Instr pf;
+                pf.op = ir::Opcode::Prefetch;
+                pf.mem = in.mem;
+                pf.mem.offset += static_cast<int64_t>(distance_) *
+                                 iv->step * in.mem.scale;
+                pf.sid = prog.nextSid();
+                pf.line = in.line;
+                bb.instrs.insert(bb.instrs.begin() +
+                                     static_cast<long>(i + 1),
+                                 pf);
+                i++; // skip the prefetch we just inserted
+                result.changed = true;
+                result.transformed++;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace bioperf::opt

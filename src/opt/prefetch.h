@@ -1,0 +1,40 @@
+#ifndef BIOPERF_OPT_PREFETCH_H_
+#define BIOPERF_OPT_PREFETCH_H_
+
+#include "opt/pass.h"
+
+namespace bioperf::opt {
+
+/**
+ * Software prefetch insertion for strided loop loads.
+ *
+ * For each natural loop, every load whose index register is a basic
+ * induction variable (and whose region is known) gets one `prefetch`
+ * for the address `distance` iterations ahead, inserted right after
+ * it. One prefetch per (region, index) pair per loop — duplicate
+ * loads of the same stream share the prefetch.
+ *
+ * This is the medicine for the *memory-bound* codes the paper
+ * excludes in Section 2.1 (the EMBOSS programs): their load latency
+ * is miss latency, hidden by prefetching, not by the paper's
+ * scheduling. On the L1-resident BioPerf codes it does nothing but
+ * add instructions — which bench/prefetch_ablation demonstrates.
+ */
+class PrefetchInsertionPass : public Pass
+{
+  public:
+    explicit PrefetchInsertionPass(uint32_t distance = 16)
+        : distance_(distance)
+    {
+    }
+
+    const char *name() const override { return "prefetch-insertion"; }
+    PassResult run(ir::Program &prog, ir::Function &fn) override;
+
+  private:
+    uint32_t distance_;
+};
+
+} // namespace bioperf::opt
+
+#endif // BIOPERF_OPT_PREFETCH_H_

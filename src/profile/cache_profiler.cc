@@ -1,0 +1,68 @@
+#include "profile/cache_profiler.h"
+
+namespace bioperf::profile {
+
+CacheProfiler::CacheProfiler()
+    : caches_(mem::CacheHierarchy::referenceConfig())
+{
+}
+
+CacheProfiler::CacheProfiler(mem::CacheHierarchy hierarchy)
+    : caches_(std::move(hierarchy))
+{
+}
+
+void
+CacheProfiler::onInstr(const vm::DynInstr &di)
+{
+    const ir::Opcode op = di.instr->op;
+    if (ir::isLoad(op)) {
+        loads_++;
+        const auto acc = caches_.access(di.addr, false);
+        if (acc.level != mem::Level::L1) {
+            load_l1_misses_++;
+            if (acc.level == mem::Level::Memory)
+                load_l2_misses_++;
+        }
+    } else if (ir::isStore(op)) {
+        caches_.access(di.addr, true);
+    } else if (op == ir::Opcode::Prefetch) {
+        caches_.access(di.addr, false);
+    }
+}
+
+double
+CacheProfiler::l1LocalMissRate() const
+{
+    return loads_ == 0 ? 0.0
+                       : static_cast<double>(load_l1_misses_) /
+                             static_cast<double>(loads_);
+}
+
+double
+CacheProfiler::l2LocalMissRate() const
+{
+    return load_l1_misses_ == 0
+               ? 0.0
+               : static_cast<double>(load_l2_misses_) /
+                     static_cast<double>(load_l1_misses_);
+}
+
+double
+CacheProfiler::overallMissRate() const
+{
+    return loads_ == 0 ? 0.0
+                       : static_cast<double>(load_l2_misses_) /
+                             static_cast<double>(loads_);
+}
+
+double
+CacheProfiler::amat() const
+{
+    const auto &lat = caches_.latencies();
+    return lat.l1HitLatency +
+           l1LocalMissRate() *
+               (lat.l2Penalty + l2LocalMissRate() * lat.memPenalty);
+}
+
+} // namespace bioperf::profile

@@ -1,0 +1,74 @@
+#include "profile/instruction_mix.h"
+
+namespace bioperf::profile {
+
+using ir::InstrClass;
+
+void
+InstructionMixProfiler::onInstr(const vm::DynInstr &di)
+{
+    counts_[static_cast<size_t>(ir::classOf(di.instr->op))]++;
+    total_++;
+}
+
+uint64_t
+InstructionMixProfiler::loads() const
+{
+    return countOf(InstrClass::Load) + countOf(InstrClass::FpLoad);
+}
+
+uint64_t
+InstructionMixProfiler::stores() const
+{
+    return countOf(InstrClass::Store) + countOf(InstrClass::FpStore);
+}
+
+uint64_t
+InstructionMixProfiler::condBranches() const
+{
+    return countOf(InstrClass::CondBranch);
+}
+
+uint64_t
+InstructionMixProfiler::other() const
+{
+    return total_ - loads() - stores() - condBranches();
+}
+
+uint64_t
+InstructionMixProfiler::fpInstrs() const
+{
+    return countOf(InstrClass::FpAlu) + countOf(InstrClass::FpLoad) +
+           countOf(InstrClass::FpStore);
+}
+
+uint64_t
+InstructionMixProfiler::fpLoads() const
+{
+    return countOf(InstrClass::FpLoad);
+}
+
+namespace {
+
+double
+frac(uint64_t a, uint64_t b)
+{
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+} // namespace
+
+double InstructionMixProfiler::loadFraction() const
+{ return frac(loads(), total_); }
+double InstructionMixProfiler::storeFraction() const
+{ return frac(stores(), total_); }
+double InstructionMixProfiler::branchFraction() const
+{ return frac(condBranches(), total_); }
+double InstructionMixProfiler::otherFraction() const
+{ return frac(other(), total_); }
+double InstructionMixProfiler::fpFraction() const
+{ return frac(fpInstrs(), total_); }
+double InstructionMixProfiler::fpLoadFraction() const
+{ return frac(fpLoads(), total_); }
+
+} // namespace bioperf::profile

@@ -1,0 +1,53 @@
+#ifndef BIOPERF_PROFILE_INSTRUCTION_MIX_H_
+#define BIOPERF_PROFILE_INSTRUCTION_MIX_H_
+
+#include <array>
+#include <cstdint>
+
+#include "vm/trace.h"
+
+namespace bioperf::profile {
+
+/**
+ * Counts executed instructions by class (Figure 1) and the
+ * floating-point fraction (Table 1).
+ *
+ * Category definitions follow the paper: "loads" and "stores" are the
+ * memory classes (integer and floating-point), "conditional branches"
+ * are Br, everything else (ALU, jumps) is "other". Floating-point
+ * instructions are FP ALU ops plus FP loads and stores.
+ */
+class InstructionMixProfiler : public vm::TraceSink
+{
+  public:
+    void onInstr(const vm::DynInstr &di) override;
+
+    uint64_t total() const { return total_; }
+    uint64_t loads() const;
+    uint64_t stores() const;
+    uint64_t condBranches() const;
+    uint64_t other() const;
+
+    uint64_t fpInstrs() const;
+    uint64_t fpLoads() const;
+
+    double loadFraction() const;
+    double storeFraction() const;
+    double branchFraction() const;
+    double otherFraction() const;
+    double fpFraction() const;
+    double fpLoadFraction() const;
+
+    uint64_t countOf(ir::InstrClass c) const
+    {
+        return counts_[static_cast<size_t>(c)];
+    }
+
+  private:
+    std::array<uint64_t, ir::kNumInstrClasses> counts_{};
+    uint64_t total_ = 0;
+};
+
+} // namespace bioperf::profile
+
+#endif // BIOPERF_PROFILE_INSTRUCTION_MIX_H_

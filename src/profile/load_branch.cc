@@ -1,0 +1,201 @@
+#include "profile/load_branch.h"
+
+#include <algorithm>
+
+namespace bioperf::profile {
+
+namespace {
+
+constexpr size_t kMaxOrigins = 4;
+
+} // namespace
+
+LoadBranchProfiler::LoadBranchProfiler()
+    : LoadBranchProfiler(Params{})
+{
+}
+
+LoadBranchProfiler::LoadBranchProfiler(const Params &params)
+    : params_(params)
+{
+}
+
+std::vector<LoadBranchProfiler::Origin> &
+LoadBranchProfiler::taintOf(ir::RegClass cls, uint32_t reg)
+{
+    auto &v = cls == ir::RegClass::Fp ? fp_taint_ : int_taint_;
+    if (reg >= v.size())
+        v.resize(reg + 1);
+    return v[reg];
+}
+
+void
+LoadBranchProfiler::onInstr(const vm::DynInstr &di)
+{
+    const ir::Instr &in = *di.instr;
+    gseq_++;
+
+    // Expire window entries.
+    while (!window_loads_.empty() &&
+           gseq_ - window_loads_.front().gseq > params_.chainWindow) {
+        window_loads_.pop_front();
+    }
+    while (!tight_pending_.empty() &&
+           gseq_ - tight_pending_.front().gseq > params_.tightWindow) {
+        tight_pending_.pop_front();
+    }
+
+    // Check whether this instruction is the first consumer of a
+    // pending tight-chain candidate.
+    if (!tight_pending_.empty()) {
+        reads_buf_.clear();
+        gatherReads(in, reads_buf_);
+        for (auto it = tight_pending_.begin();
+             it != tight_pending_.end();) {
+            bool consumed = false;
+            for (auto &[cls, reg] : reads_buf_) {
+                if (cls == it->cls && reg == it->reg) {
+                    consumed = true;
+                    break;
+                }
+            }
+            if (consumed) {
+                after_hard_loads_++;
+                it = tight_pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    const ir::Opcode op = in.op;
+
+    if (ir::isLoad(op)) {
+        total_loads_++;
+        window_loads_.push_back({gseq_, false});
+        // The loaded value is a fresh origin, replacing any taint the
+        // destination register carried.
+        setTaint(ir::dstClass(in), in.dst, {{gseq_, in.sid}});
+
+        // Branch-to-load detection (Table 4b): right after a branch
+        // that has proven hard to predict.
+        if (last_hard_branch_ != UINT64_MAX &&
+            gseq_ - last_hard_branch_ <= params_.afterWindow) {
+            tight_pending_.push_back({gseq_, ir::dstClass(in), in.dst});
+        }
+        return;
+    }
+
+    if (op == ir::Opcode::Br) {
+        // Load-to-branch detection: taint on the condition register.
+        auto &taint = taintOf(ir::RegClass::Int, in.src[0]);
+        bool terminated_chain = false;
+        for (const Origin &o : taint) {
+            if (gseq_ - o.gseq > params_.chainWindow)
+                continue;
+            terminated_chain = true;
+            // Mark the originating load (linear scan over a <=
+            // chainWindow-sized deque).
+            for (auto &pl : window_loads_) {
+                if (pl.gseq == o.gseq && !pl.fed) {
+                    pl.fed = true;
+                    ltb_loads_++;
+                }
+            }
+        }
+
+        const bool correct = pred_.predictAndTrain(in.sid, di.taken);
+        if (terminated_chain) {
+            ltb_branch_exec_++;
+            if (!correct)
+                ltb_branch_miss_++;
+        }
+
+        // Is this branch statically hard to predict so far?
+        if (pred_.executions(in.sid) >= params_.minBranchExecs &&
+            pred_.missRate(in.sid) >= params_.hardThreshold) {
+            last_hard_branch_ = gseq_;
+        }
+        return;
+    }
+
+    if (ir::isStore(op) || op == ir::Opcode::Prefetch ||
+        op == ir::Opcode::Jmp || op == ir::Opcode::Halt) {
+        return; // no register result
+    }
+
+    // Register-producing ALU operation: propagate the union of the
+    // source operands' origins to the destination.
+    if (op == ir::Opcode::MovImm || op == ir::Opcode::FMovImm) {
+        setTaint(ir::dstClass(in), in.dst, {});
+        return;
+    }
+    std::vector<Origin> merged;
+    const int n = ir::numSrcs(in);
+    for (int i = 0; i < n; i++) {
+        if (in.src[i] == ir::kNoReg)
+            continue;
+        for (const Origin &o : taintOf(ir::srcClass(in, i), in.src[i])) {
+            if (gseq_ - o.gseq > params_.chainWindow)
+                continue;
+            bool dup = false;
+            for (const Origin &m : merged)
+                if (m.gseq == o.gseq)
+                    dup = true;
+            if (!dup && merged.size() < kMaxOrigins)
+                merged.push_back(o);
+        }
+    }
+    setTaint(ir::dstClass(in), in.dst, std::move(merged));
+}
+
+void
+LoadBranchProfiler::setTaint(ir::RegClass cls, uint32_t reg,
+                             std::vector<Origin> taint)
+{
+    if (cls == ir::RegClass::None)
+        return;
+    taintOf(cls, reg) = std::move(taint);
+}
+
+void
+LoadBranchProfiler::onRunEnd()
+{
+    // Register state does not survive a run; neither do chains.
+    for (auto &t : int_taint_)
+        t.clear();
+    for (auto &t : fp_taint_)
+        t.clear();
+    window_loads_.clear();
+    tight_pending_.clear();
+    last_hard_branch_ = UINT64_MAX;
+}
+
+double
+LoadBranchProfiler::loadToBranchFraction() const
+{
+    return total_loads_ == 0
+               ? 0.0
+               : static_cast<double>(ltb_loads_) /
+                     static_cast<double>(total_loads_);
+}
+
+double
+LoadBranchProfiler::ltbBranchMissRate() const
+{
+    return ltb_branch_exec_ == 0
+               ? 0.0
+               : static_cast<double>(ltb_branch_miss_) /
+                     static_cast<double>(ltb_branch_exec_);
+}
+
+double
+LoadBranchProfiler::loadAfterHardBranchFraction() const
+{
+    return total_loads_ == 0
+               ? 0.0
+               : static_cast<double>(after_hard_loads_) /
+                     static_cast<double>(total_loads_);
+}
+
+} // namespace bioperf::profile

@@ -1,0 +1,109 @@
+#ifndef BIOPERF_PROFILE_LOAD_BRANCH_H_
+#define BIOPERF_PROFILE_LOAD_BRANCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "branch/predictors.h"
+#include "vm/trace.h"
+
+namespace bioperf::profile {
+
+/**
+ * Detects the two problematic load sequences of Section 2.2 and
+ * produces the Table 4 metrics:
+ *
+ *  (a) load-to-branch sequences — dynamic loads whose value reaches,
+ *      through a register dependence chain of non-memory operations,
+ *      the condition of a conditional branch within a bounded
+ *      instruction window; plus the dynamic misprediction rate of
+ *      exactly those terminating branches;
+ *
+ *  (b) loads with tight dependence chains right after hard-to-predict
+ *      branches — dynamic loads within `afterWindow` instructions of
+ *      a conditional branch whose static misprediction rate is at
+ *      least `hardThreshold`, whose first consumer follows within
+ *      `tightWindow` instructions.
+ *
+ * Branch behaviour is judged by an embedded hybrid predictor with one
+ * entry per static branch (no aliasing), matching the paper's setup.
+ */
+class LoadBranchProfiler : public vm::TraceSink
+{
+  public:
+    struct Params
+    {
+        uint32_t chainWindow = 32; ///< load -> branch max distance
+        uint32_t afterWindow = 8;  ///< branch -> load max distance
+        uint32_t tightWindow = 2;  ///< load -> first-consumer distance
+        double hardThreshold = 0.05;
+        uint64_t minBranchExecs = 16; ///< before a branch can be "hard"
+    };
+
+    LoadBranchProfiler();
+    explicit LoadBranchProfiler(const Params &params);
+
+    void onInstr(const vm::DynInstr &di) override;
+    void onRunEnd() override;
+
+    uint64_t dynamicLoads() const { return total_loads_; }
+
+    /** Table 4(a), column 1: loads in load-to-branch sequences. */
+    double loadToBranchFraction() const;
+    /** Table 4(a), column 2: misprediction rate of those branches. */
+    double ltbBranchMissRate() const;
+    /** Table 4(b): tight-chain loads after hard-to-predict branches. */
+    double loadAfterHardBranchFraction() const;
+
+    const branch::BranchPredictor &predictor() const { return pred_; }
+
+  private:
+    /** A load this register's value (transitively) derives from. */
+    struct Origin
+    {
+        uint64_t gseq = 0;
+        uint32_t sid = 0;
+    };
+
+    struct PendingLoad
+    {
+        uint64_t gseq = 0;
+        bool fed = false;
+    };
+
+    struct TightCandidate
+    {
+        uint64_t gseq = 0;
+        ir::RegClass cls = ir::RegClass::Int;
+        uint32_t reg = 0;
+    };
+
+    std::vector<Origin> &taintOf(ir::RegClass cls, uint32_t reg);
+    void setTaint(ir::RegClass cls, uint32_t reg,
+                  std::vector<Origin> taint);
+
+    Params params_;
+    branch::HybridPredictor pred_;
+    uint64_t gseq_ = 0;
+
+    std::vector<std::vector<Origin>> int_taint_;
+    std::vector<std::vector<Origin>> fp_taint_;
+
+    std::deque<PendingLoad> window_loads_;
+    std::deque<TightCandidate> tight_pending_;
+
+    uint64_t last_hard_branch_ = UINT64_MAX; ///< gseq, or none yet
+
+    uint64_t total_loads_ = 0;
+    uint64_t ltb_loads_ = 0;
+    uint64_t ltb_branch_exec_ = 0;
+    uint64_t ltb_branch_miss_ = 0;
+    uint64_t after_hard_loads_ = 0;
+
+    std::vector<std::pair<ir::RegClass, uint32_t>> reads_buf_;
+};
+
+} // namespace bioperf::profile
+
+#endif // BIOPERF_PROFILE_LOAD_BRANCH_H_

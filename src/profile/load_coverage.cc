@@ -1,0 +1,86 @@
+#include "profile/load_coverage.h"
+
+#include <algorithm>
+
+namespace bioperf::profile {
+
+void
+LoadCoverageProfiler::onInstr(const vm::DynInstr &di)
+{
+    if (!ir::isLoad(di.instr->op))
+        return;
+    const uint32_t sid = di.instr->sid;
+    if (sid >= per_sid_.size())
+        per_sid_.resize(sid + 1, 0);
+    per_sid_[sid]++;
+    total_loads_++;
+}
+
+uint64_t
+LoadCoverageProfiler::staticLoads() const
+{
+    uint64_t n = 0;
+    for (uint64_t c : per_sid_)
+        if (c > 0)
+            n++;
+    return n;
+}
+
+std::vector<uint64_t>
+LoadCoverageProfiler::sortedCounts() const
+{
+    std::vector<uint64_t> counts;
+    counts.reserve(per_sid_.size());
+    for (uint64_t c : per_sid_)
+        if (c > 0)
+            counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    return counts;
+}
+
+std::vector<double>
+LoadCoverageProfiler::cdf(size_t max_points) const
+{
+    std::vector<double> out;
+    if (total_loads_ == 0)
+        return out;
+    const auto counts = sortedCounts();
+    uint64_t cum = 0;
+    for (size_t i = 0; i < counts.size() && i < max_points; i++) {
+        cum += counts[i];
+        out.push_back(static_cast<double>(cum) /
+                      static_cast<double>(total_loads_));
+    }
+    return out;
+}
+
+double
+LoadCoverageProfiler::coverageAt(size_t n) const
+{
+    if (total_loads_ == 0 || n == 0)
+        return 0.0;
+    const auto counts = sortedCounts();
+    uint64_t cum = 0;
+    for (size_t i = 0; i < counts.size() && i < n; i++)
+        cum += counts[i];
+    return static_cast<double>(cum) / static_cast<double>(total_loads_);
+}
+
+size_t
+LoadCoverageProfiler::loadsForCoverage(double fraction) const
+{
+    if (total_loads_ == 0)
+        return 0;
+    const auto counts = sortedCounts();
+    uint64_t cum = 0;
+    const auto target = static_cast<uint64_t>(
+        fraction * static_cast<double>(total_loads_));
+    for (size_t i = 0; i < counts.size(); i++) {
+        cum += counts[i];
+        if (cum >= target)
+            return i + 1;
+    }
+    return counts.size();
+}
+
+} // namespace bioperf::profile

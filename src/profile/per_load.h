@@ -1,0 +1,78 @@
+#ifndef BIOPERF_PROFILE_PER_LOAD_H_
+#define BIOPERF_PROFILE_PER_LOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "branch/predictors.h"
+#include "mem/hierarchy.h"
+#include "vm/trace.h"
+
+namespace bioperf::profile {
+
+/**
+ * Per-static-load profile (Table 5): execution frequency, L1 miss
+ * rate, misprediction rate of the following branch, and the source
+ * mapping (function / file / line) of each hot load. This is the
+ * profile the paper's Section 3 methodology uses to pick optimization
+ * candidates.
+ */
+class PerLoadProfiler : public vm::TraceSink
+{
+  public:
+    struct Entry
+    {
+        uint32_t sid = 0;
+        uint64_t execs = 0;
+        uint64_t l1Misses = 0;
+        uint64_t nextBranchExecs = 0;
+        uint64_t nextBranchMisses = 0;
+        int32_t line = -1;
+        std::string function;
+        std::string file;
+        std::string region;
+
+        /** Fraction of all dynamic loads this static load accounts for. */
+        double frequency = 0.0;
+        double l1MissRate() const;
+        /** Misprediction rate of the first branch after this load. */
+        double nextBranchMissRate() const;
+    };
+
+    explicit PerLoadProfiler(const ir::Program &prog);
+
+    void onInstr(const vm::DynInstr &di) override;
+    void onRunEnd() override;
+
+    uint64_t dynamicLoads() const { return total_loads_; }
+
+    /** The @a n most frequently executed static loads. */
+    std::vector<Entry> topLoads(size_t n) const;
+
+    /** Profile of one static load (zeroed if never executed). */
+    Entry entry(uint32_t sid) const;
+
+  private:
+    struct Counters
+    {
+        uint64_t execs = 0;
+        uint64_t l1Misses = 0;
+        uint64_t branchExecs = 0;
+        uint64_t branchMisses = 0;
+        const ir::Instr *instr = nullptr;
+    };
+
+    Entry makeEntry(uint32_t sid, const Counters &c) const;
+
+    const ir::Program &prog_;
+    mem::CacheHierarchy caches_;
+    branch::HybridPredictor pred_;
+    std::vector<Counters> per_sid_;
+    std::vector<uint32_t> pending_; ///< load sids since the last branch
+    uint64_t total_loads_ = 0;
+};
+
+} // namespace bioperf::profile
+
+#endif // BIOPERF_PROFILE_PER_LOAD_H_

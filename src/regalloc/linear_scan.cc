@@ -1,0 +1,364 @@
+#include "regalloc/linear_scan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "ir/analysis.h"
+
+namespace bioperf::regalloc {
+
+namespace {
+
+using ir::Instr;
+using ir::kNoReg;
+using ir::RegClass;
+
+constexpr uint32_t kNumScratch = 3;
+constexpr uint32_t kUnassigned = 0xffffffffu;
+constexpr uint32_t kSpilled = 0xfffffffeu;
+
+struct Interval
+{
+    uint32_t vreg = 0;
+    uint32_t start = 0;
+    uint32_t end = 0;
+};
+
+/**
+ * Allocation state for one register class. Produces a map from
+ * virtual register to either a physical register or kSpilled.
+ */
+class ClassAllocator
+{
+  public:
+    /**
+     * @param num_scratch registers held back for spill code; pass 0
+     *        for a trial allocation that succeeds only if nothing
+     *        spills (compilers don't waste registers on spill
+     *        scratch when the code fits).
+     */
+    ClassAllocator(const ir::Function &fn, const ir::Cfg &cfg,
+                   RegClass cls, uint32_t num_phys,
+                   uint32_t num_scratch)
+        : cls_(cls), num_phys_(num_phys), num_scratch_(num_scratch)
+    {
+        buildIntervals(fn, cfg);
+        scan(fn);
+    }
+
+    /** kSpilled, or the assigned physical register. */
+    uint32_t assignment(uint32_t vreg) const { return assign_[vreg]; }
+    uint32_t numSpilled() const { return num_spilled_; }
+
+  private:
+    void buildIntervals(const ir::Function &fn, const ir::Cfg &cfg);
+    void scan(const ir::Function &fn);
+
+    RegClass cls_;
+    uint32_t num_phys_;
+    uint32_t num_scratch_;
+    std::vector<Interval> intervals_;
+    std::vector<uint32_t> assign_;
+    uint32_t num_spilled_ = 0;
+};
+
+void
+ClassAllocator::buildIntervals(const ir::Function &fn, const ir::Cfg &cfg)
+{
+    const uint32_t nregs = cls_ == RegClass::Fp ? fn.numFpRegs
+                                                : fn.numIntRegs;
+    std::vector<uint32_t> start(nregs, UINT32_MAX);
+    std::vector<uint32_t> end(nregs, 0);
+    auto touch = [&](uint32_t r, uint32_t pos) {
+        start[r] = std::min(start[r], pos);
+        end[r] = std::max(end[r], pos);
+    };
+
+    ir::Liveness live(fn, cfg, cls_);
+
+    uint32_t pos = 0;
+    for (const auto &bb : fn.blocks) {
+        const uint32_t block_start = pos;
+        const uint32_t block_end =
+            pos + static_cast<uint32_t>(bb.instrs.size());
+        for (uint32_t r = 0; r < nregs; r++) {
+            if (live.liveIn(bb.id, r))
+                touch(r, block_start);
+            if (live.liveOut(bb.id, r))
+                touch(r, block_end);
+        }
+        for (const auto &in : bb.instrs) {
+            for (uint32_t r : ir::readsOfClass(in, cls_))
+                touch(r, pos);
+            const uint32_t w = ir::writeOfClass(in, cls_);
+            if (w != kNoReg)
+                touch(w, pos);
+            pos++;
+        }
+        pos++; // gap between blocks keeps boundary positions distinct
+    }
+
+    // Parameters are live from function entry.
+    if (cls_ == RegClass::Int) {
+        for (const auto &[name, reg] : fn.params) {
+            (void)name;
+            touch(reg, 0);
+        }
+    }
+
+    for (uint32_t r = 0; r < nregs; r++)
+        if (start[r] != UINT32_MAX)
+            intervals_.push_back({r, start[r], end[r]});
+    std::sort(intervals_.begin(), intervals_.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+    assign_.assign(nregs, kUnassigned);
+}
+
+void
+ClassAllocator::scan(const ir::Function &fn)
+{
+    if (num_phys_ <= num_scratch_) {
+        std::fprintf(stderr, "regalloc: fewer than %u registers\n",
+                     num_scratch_ + 1);
+        std::abort();
+    }
+    const uint32_t avail = num_phys_ - num_scratch_;
+
+    // Parameters must not spill: mark them so the spill heuristic
+    // skips them.
+    std::vector<bool> pinned(assign_.size(), false);
+    if (cls_ == RegClass::Int) {
+        for (const auto &[name, reg] : fn.params) {
+            (void)name;
+            pinned[reg] = true;
+        }
+    }
+
+    struct Active { uint32_t vreg; uint32_t end; uint32_t phys; };
+    std::vector<Active> active;
+    std::vector<uint32_t> free_regs;
+    for (uint32_t p = avail; p-- > 0;)
+        free_regs.push_back(p);
+
+    for (const Interval &iv : intervals_) {
+        // Expire finished intervals.
+        for (auto it = active.begin(); it != active.end();) {
+            if (it->end < iv.start) {
+                free_regs.push_back(it->phys);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (!free_regs.empty()) {
+            const uint32_t phys = free_regs.back();
+            free_regs.pop_back();
+            assign_[iv.vreg] = phys;
+            active.push_back({iv.vreg, iv.end, phys});
+            continue;
+        }
+
+        // Spill the interval with the furthest end among the active
+        // non-pinned ones and this one.
+        size_t victim = SIZE_MAX;
+        uint32_t furthest = pinned[iv.vreg] ? 0 : iv.end;
+        for (size_t i = 0; i < active.size(); i++) {
+            if (pinned[active[i].vreg])
+                continue;
+            if (active[i].end > furthest) {
+                furthest = active[i].end;
+                victim = i;
+            }
+        }
+        if (victim == SIZE_MAX) {
+            // Current interval is the furthest (or everything else is
+            // pinned): spill it.
+            assert(!pinned[iv.vreg] && "cannot spill a parameter");
+            assign_[iv.vreg] = kSpilled;
+            num_spilled_++;
+        } else {
+            assign_[active[victim].vreg] = kSpilled;
+            num_spilled_++;
+            assign_[iv.vreg] = active[victim].phys;
+            active[victim] = {iv.vreg, iv.end, active[victim].phys};
+        }
+    }
+}
+
+} // namespace
+
+AllocResult
+allocate(ir::Program &prog, ir::Function &fn, uint32_t num_int_regs,
+         uint32_t num_fp_regs)
+{
+    AllocResult result;
+    const ir::Cfg cfg(fn);
+
+    // First try without reserving scratch registers; only when the
+    // trial spills does the real allocation hold back kNumScratch.
+    auto alloc_class = [&](RegClass cls, uint32_t num_phys) {
+        auto trial = std::make_unique<ClassAllocator>(fn, cfg, cls,
+                                                      num_phys, 0);
+        if (trial->numSpilled() == 0)
+            return trial;
+        return std::make_unique<ClassAllocator>(fn, cfg, cls,
+                                                num_phys, kNumScratch);
+    };
+    auto int_alloc_p = alloc_class(RegClass::Int, num_int_regs);
+    auto fp_alloc_p = alloc_class(RegClass::Fp, num_fp_regs);
+    ClassAllocator &int_alloc = *int_alloc_p;
+    ClassAllocator &fp_alloc = *fp_alloc_p;
+    result.intSpilledRegs = int_alloc.numSpilled();
+    result.fpSpilledRegs = fp_alloc.numSpilled();
+
+    // Assign stack slots to spilled virtual registers.
+    std::vector<uint32_t> int_slot(fn.numIntRegs, kUnassigned);
+    std::vector<uint32_t> fp_slot(fn.numFpRegs, kUnassigned);
+    uint32_t next_slot = 0;
+    for (uint32_t r = 0; r < fn.numIntRegs; r++)
+        if (int_alloc.assignment(r) == kSpilled)
+            int_slot[r] = next_slot++;
+    for (uint32_t r = 0; r < fn.numFpRegs; r++)
+        if (fp_alloc.assignment(r) == kSpilled)
+            fp_slot[r] = next_slot++;
+
+    int32_t stack_region = -1;
+    uint64_t stack_base = 0;
+    if (next_slot > 0) {
+        stack_region = prog.addRegion(fn.name + ".spill", 8, next_slot);
+        stack_base = prog.region(stack_region).base;
+        result.stackRegion = stack_region;
+    }
+
+    const uint32_t int_scratch0 = num_int_regs - kNumScratch;
+    const uint32_t fp_scratch0 = num_fp_regs - kNumScratch;
+
+    auto phys_of = [&](RegClass cls, uint32_t vreg) -> uint32_t {
+        const uint32_t a = cls == RegClass::Fp
+            ? fp_alloc.assignment(vreg) : int_alloc.assignment(vreg);
+        return a;
+    };
+    auto slot_addr = [&](RegClass cls, uint32_t vreg) -> int64_t {
+        const uint32_t slot = cls == RegClass::Fp ? fp_slot[vreg]
+                                                  : int_slot[vreg];
+        return static_cast<int64_t>(stack_base + uint64_t(slot) * 8);
+    };
+    auto make_reload = [&](RegClass cls, uint32_t vreg,
+                           uint32_t scratch) {
+        Instr ld;
+        ld.op = cls == RegClass::Fp ? ir::Opcode::FLoad
+                                    : ir::Opcode::Load;
+        ld.dst = scratch;
+        ld.mem.region = stack_region;
+        ld.mem.size = 8;
+        ld.mem.offset = slot_addr(cls, vreg);
+        ld.sid = prog.nextSid();
+        return ld;
+    };
+    auto make_spill = [&](RegClass cls, uint32_t vreg,
+                          uint32_t scratch) {
+        Instr st;
+        st.op = cls == RegClass::Fp ? ir::Opcode::FStore
+                                    : ir::Opcode::Store;
+        st.src[0] = scratch;
+        st.mem.region = stack_region;
+        st.mem.size = 8;
+        st.mem.offset = slot_addr(cls, vreg);
+        st.sid = prog.nextSid();
+        return st;
+    };
+
+    for (auto &bb : fn.blocks) {
+        std::vector<Instr> rewritten;
+        rewritten.reserve(bb.instrs.size());
+        for (Instr in : bb.instrs) {
+            uint32_t next_int_scratch = int_scratch0;
+            uint32_t next_fp_scratch = fp_scratch0;
+
+            // Explicit register sources.
+            const int n = ir::numSrcs(in);
+            for (int s = 0; s < n; s++) {
+                if (in.src[s] == kNoReg)
+                    continue;
+                const RegClass cls = ir::srcClass(in, s);
+                const uint32_t a = phys_of(cls, in.src[s]);
+                if (a == kSpilled) {
+                    uint32_t &scratch = cls == RegClass::Fp
+                        ? next_fp_scratch : next_int_scratch;
+                    rewritten.push_back(
+                        make_reload(cls, in.src[s], scratch));
+                    in.src[s] = scratch++;
+                    result.spillInstrs++;
+                } else {
+                    in.src[s] = a;
+                }
+            }
+            // Address registers (always integer class).
+            if (ir::hasMemOperand(in.op)) {
+                for (uint32_t *r : { &in.mem.base, &in.mem.index }) {
+                    if (*r == kNoReg)
+                        continue;
+                    const uint32_t a = phys_of(RegClass::Int, *r);
+                    if (a == kSpilled) {
+                        rewritten.push_back(make_reload(
+                            RegClass::Int, *r, next_int_scratch));
+                        *r = next_int_scratch++;
+                        result.spillInstrs++;
+                    } else {
+                        *r = a;
+                    }
+                }
+            }
+            assert(next_int_scratch <= num_int_regs);
+            assert(next_fp_scratch <= num_fp_regs);
+
+            // Destination.
+            const RegClass dcls = ir::dstClass(in);
+            bool spill_dst = false;
+            uint32_t dst_vreg = 0;
+            if (dcls != RegClass::None) {
+                dst_vreg = in.dst;
+                const uint32_t a = phys_of(dcls, in.dst);
+                if (a == kSpilled) {
+                    in.dst = dcls == RegClass::Fp ? fp_scratch0
+                                                  : int_scratch0;
+                    spill_dst = true;
+                } else {
+                    in.dst = a;
+                }
+            }
+
+            rewritten.push_back(in);
+            if (spill_dst) {
+                rewritten.push_back(
+                    make_spill(dcls, dst_vreg, in.dst));
+                result.spillInstrs++;
+            }
+        }
+        // The terminator must stay last: spill stores after a
+        // terminator would be unreachable, but terminators never
+        // write registers, so this cannot happen.
+        bb.instrs = std::move(rewritten);
+    }
+
+    // Rewrite the parameter bindings to their physical registers.
+    for (auto &[name, reg] : fn.params) {
+        (void)name;
+        const uint32_t a = int_alloc.assignment(reg);
+        assert(a != kSpilled && a != kUnassigned);
+        reg = a;
+    }
+
+    fn.numIntRegs = num_int_regs;
+    fn.numFpRegs = num_fp_regs;
+    return result;
+}
+
+} // namespace bioperf::regalloc

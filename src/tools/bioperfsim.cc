@@ -1,0 +1,278 @@
+/**
+ * @file
+ * bioperfsim: command-line driver for the library.
+ *
+ *   bioperfsim list
+ *   bioperfsim characterize <app> [--scale s|m|l] [--seed N]
+ *   bioperfsim time <app> [--platform alpha|ppc|p4|itanium]
+ *                        [--variant base|xform] [--scale s|m|l]
+ *                        [--predictor NAME] [--seed N]
+ *   bioperfsim speedup <app> [--platform ...] [--scale ...] [--seed N]
+ *   bioperfsim candidates <app> [--scale ...] [--seed N]
+ *   bioperfsim dump <app> [--variant base|xform] [--seed N]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "core/candidate_finder.h"
+#include "core/simulator.h"
+#include "cpu/platforms.h"
+#include "ir/printer.h"
+#include "util/table.h"
+
+using namespace bioperf;
+
+namespace {
+
+struct Options
+{
+    std::string command;
+    std::string app;
+    apps::Scale scale = apps::Scale::Small;
+    apps::Variant variant = apps::Variant::Baseline;
+    cpu::PlatformConfig platform = cpu::alpha21264();
+    uint64_t seed = 42;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: bioperfsim <command> [app] [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                      all applications\n"
+        "  characterize <app>        instruction mix, coverage, cache,\n"
+        "                            load/branch sequences\n"
+        "  time <app>                cycle-level timing on a platform\n"
+        "  speedup <app>             baseline vs transformed\n"
+        "  candidates <app>          ranked load-scheduling candidates\n"
+        "  dump <app>                print the kernel IR\n"
+        "\n"
+        "options:\n"
+        "  --scale s|m|l             workload size (default s)\n"
+        "  --variant base|xform      kernel version (default base)\n"
+        "  --platform alpha|ppc|p4|itanium   (default alpha)\n"
+        "  --predictor NAME          perfect/static/bimodal/gshare/"
+        "local/hybrid\n"
+        "  --seed N                  workload seed (default 42)\n");
+}
+
+bool
+parse(int argc, char **argv, Options &opt)
+{
+    if (argc < 2)
+        return false;
+    opt.command = argv[1];
+    int i = 2;
+    if (opt.command != "list") {
+        if (argc < 3)
+            return false;
+        opt.app = argv[2];
+        i = 3;
+    }
+    for (; i < argc; i++) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::printf("missing value for %s\n", a.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--scale") {
+            const std::string v = next();
+            opt.scale = v == "l"   ? apps::Scale::Large
+                        : v == "m" ? apps::Scale::Medium
+                                   : apps::Scale::Small;
+        } else if (a == "--variant") {
+            opt.variant = std::string(next()) == "xform"
+                              ? apps::Variant::Transformed
+                              : apps::Variant::Baseline;
+        } else if (a == "--platform") {
+            const std::string v = next();
+            if (v == "ppc")
+                opt.platform = cpu::powerpcG5();
+            else if (v == "p4")
+                opt.platform = cpu::pentium4();
+            else if (v == "itanium")
+                opt.platform = cpu::itanium2();
+            else
+                opt.platform = cpu::alpha21264();
+        } else if (a == "--predictor") {
+            opt.platform.predictor = next();
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else {
+            std::printf("unknown option %s\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdList()
+{
+    util::TextTable t({ "name", "area", "transformable" });
+    for (const auto &a : apps::bioperfApps())
+        t.row().cell(a.name).cell(a.area).cell(
+            a.transformable ? "yes" : "no");
+    for (const auto &a : apps::specLikeApps())
+        t.row().cell(a.name).cell(a.area).cell("n/a");
+    for (const auto &a : apps::memoryBoundApps())
+        t.row().cell(a.name).cell(a.area).cell("n/a");
+    std::printf("%s", t.str().c_str());
+    return 0;
+}
+
+int
+cmdCharacterize(const Options &opt, const apps::AppInfo &app)
+{
+    apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
+    const auto res = core::Simulator::characterize(run);
+    std::printf("application      : %s (%s)\n", app.name.c_str(),
+                app.area.c_str());
+    std::printf("verified         : %s\n",
+                res.verified ? "yes" : "NO");
+    std::printf("instructions     : %llu\n",
+                static_cast<unsigned long long>(res.instructions));
+    std::printf("loads            : %.1f%%  stores: %.1f%%  "
+                "branches: %.1f%%  fp: %.1f%%\n",
+                100.0 * res.mix->loadFraction(),
+                100.0 * res.mix->storeFraction(),
+                100.0 * res.mix->branchFraction(),
+                100.0 * res.mix->fpFraction());
+    std::printf("static loads     : %llu executed, %zu cover 90%%\n",
+                static_cast<unsigned long long>(
+                    res.coverage->staticLoads()),
+                res.coverage->loadsForCoverage(0.9));
+    std::printf("cache            : L1 miss %.2f%%, L2 local %.2f%%, "
+                "overall %.3f%%, AMAT %.2f\n",
+                100.0 * res.cache->l1LocalMissRate(),
+                100.0 * res.cache->l2LocalMissRate(),
+                100.0 * res.cache->overallMissRate(),
+                res.cache->amat());
+    std::printf("load-to-branch   : %.1f%% of loads; those branches "
+                "mispredict %.1f%%\n",
+                100.0 * res.loadBranch->loadToBranchFraction(),
+                100.0 * res.loadBranch->ltbBranchMissRate());
+    std::printf("after hard branch: %.1f%% of loads\n",
+                100.0 * res.loadBranch->loadAfterHardBranchFraction());
+    return res.verified ? 0 : 1;
+}
+
+int
+cmdTime(const Options &opt, const apps::AppInfo &app)
+{
+    apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
+    core::Simulator::applyRegisterPressure(run, opt.platform);
+    const auto res = core::Simulator::time(run, opt.platform);
+    std::printf("%s (%s) on %s:\n", app.name.c_str(),
+                opt.variant == apps::Variant::Baseline
+                    ? "baseline" : "transformed",
+                opt.platform.name.c_str());
+    std::printf("  verified    : %s\n", res.verified ? "yes" : "NO");
+    std::printf("  instructions: %llu\n",
+                static_cast<unsigned long long>(res.instructions));
+    std::printf("  cycles      : %llu  (IPC %.2f)\n",
+                static_cast<unsigned long long>(res.cycles), res.ipc);
+    std::printf("  mispredicts : %llu\n",
+                static_cast<unsigned long long>(res.mispredicts));
+    std::printf("  time        : %.6f s at %.3f GHz\n", res.seconds,
+                opt.platform.core.clockGhz);
+    return res.verified ? 0 : 1;
+}
+
+int
+cmdSpeedup(const Options &opt, const apps::AppInfo &app)
+{
+    if (!app.transformable) {
+        std::printf("%s has no transformed variant\n",
+                    app.name.c_str());
+        return 1;
+    }
+    core::TimingResult tb, tx;
+    const double sp = core::Simulator::speedup(
+        app, opt.platform, opt.scale, opt.seed, &tb, &tx);
+    std::printf("%s on %s: %llu -> %llu cycles, speedup %.1f%%\n",
+                app.name.c_str(), opt.platform.name.c_str(),
+                static_cast<unsigned long long>(tb.cycles),
+                static_cast<unsigned long long>(tx.cycles),
+                100.0 * (sp - 1.0));
+    return tb.verified && tx.verified ? 0 : 1;
+}
+
+int
+cmdCandidates(const Options &opt, const apps::AppInfo &app)
+{
+    apps::AppRun run = app.make(apps::Variant::Baseline, opt.scale,
+                                opt.seed);
+    core::CandidateFinder finder;
+    const auto cands = finder.findCandidates(run);
+    if (cands.empty()) {
+        std::printf("no candidates found\n");
+        return 0;
+    }
+    util::TextTable t({ "file", "line", "array", "frequency",
+                        "branch mispredict" });
+    for (const auto &e : cands) {
+        t.row()
+            .cell(e.file)
+            .cell(static_cast<int64_t>(e.line))
+            .cell(e.region)
+            .cellPercent(100.0 * e.frequency, 2)
+            .cellPercent(100.0 * e.nextBranchMissRate(), 1);
+    }
+    std::printf("%s", t.str().c_str());
+    return 0;
+}
+
+int
+cmdDump(const Options &opt, const apps::AppInfo &app)
+{
+    apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
+    for (size_t f = 0; f < run.prog->numFunctions(); f++) {
+        std::printf("%s\n",
+                    ir::toString(*run.prog, run.prog->function(f))
+                        .c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parse(argc, argv, opt)) {
+        usage();
+        return 1;
+    }
+    if (opt.command == "list")
+        return cmdList();
+
+    const apps::AppInfo *app = apps::findApp(opt.app);
+    if (!app) {
+        std::printf("unknown application '%s' (try: bioperfsim "
+                    "list)\n", opt.app.c_str());
+        return 1;
+    }
+    if (opt.command == "characterize")
+        return cmdCharacterize(opt, *app);
+    if (opt.command == "time")
+        return cmdTime(opt, *app);
+    if (opt.command == "speedup")
+        return cmdSpeedup(opt, *app);
+    if (opt.command == "candidates")
+        return cmdCandidates(opt, *app);
+    if (opt.command == "dump")
+        return cmdDump(opt, *app);
+    usage();
+    return 1;
+}

@@ -1,0 +1,242 @@
+#include "vm/interpreter.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bioperf::vm {
+
+using ir::Opcode;
+
+Interpreter::Interpreter(const ir::Program &prog)
+    : prog_(prog), mem_(prog.memoryBytes())
+{
+}
+
+uint64_t
+Interpreter::effectiveAddress(const ir::Instr &in) const
+{
+    uint64_t addr = static_cast<uint64_t>(in.mem.offset);
+    if (in.mem.base != ir::kNoReg)
+        addr += static_cast<uint64_t>(iregs_[in.mem.base]);
+    if (in.mem.index != ir::kNoReg)
+        addr += static_cast<uint64_t>(iregs_[in.mem.index]) * in.mem.scale;
+    return addr;
+}
+
+uint64_t
+Interpreter::run(const ir::Function &fn,
+                 const std::vector<int64_t> &params, uint64_t max_instrs)
+{
+    iregs_.assign(fn.numIntRegs, 0);
+    fregs_.assign(fn.numFpRegs, 0.0);
+    assert(params.size() == fn.params.size() &&
+           "parameter count mismatch");
+    for (size_t i = 0; i < params.size(); i++)
+        iregs_[fn.params[i].second] = params[i];
+
+    uint64_t count = 0;
+    uint32_t bb = 0;
+    size_t pc = 0;
+    DynInstr di;
+
+    for (;;) {
+        const ir::Instr &in = fn.blocks[bb].instrs[pc];
+        di.instr = &in;
+        di.seq = count;
+        di.addr = 0;
+        di.loadValueBits = 0;
+        di.taken = false;
+
+        uint32_t next_bb = bb;
+        size_t next_pc = pc + 1;
+        bool halt = false;
+
+        // Second integer operand for the int-ALU cases below. The
+        // bounds check matters: fp opcodes put fp register indices in
+        // src[1], which must not be used to index iregs_.
+        const int64_t b = in.hasImm
+            ? in.imm
+            : (in.src[1] != ir::kNoReg && in.src[1] < iregs_.size()
+                   ? iregs_[in.src[1]] : 0);
+
+        switch (in.op) {
+          case Opcode::Add:
+            iregs_[in.dst] = iregs_[in.src[0]] + b;
+            break;
+          case Opcode::Sub:
+            iregs_[in.dst] = iregs_[in.src[0]] - b;
+            break;
+          case Opcode::Mul:
+            iregs_[in.dst] = iregs_[in.src[0]] * b;
+            break;
+          case Opcode::Div:
+            // Division by zero is defined as 0 (the IR has no traps).
+            iregs_[in.dst] = b == 0 ? 0 : iregs_[in.src[0]] / b;
+            break;
+          case Opcode::Rem:
+            iregs_[in.dst] = b == 0 ? 0 : iregs_[in.src[0]] % b;
+            break;
+          case Opcode::And:
+            iregs_[in.dst] = iregs_[in.src[0]] & b;
+            break;
+          case Opcode::Or:
+            iregs_[in.dst] = iregs_[in.src[0]] | b;
+            break;
+          case Opcode::Xor:
+            iregs_[in.dst] = iregs_[in.src[0]] ^ b;
+            break;
+          case Opcode::Shl:
+            iregs_[in.dst] = static_cast<int64_t>(
+                static_cast<uint64_t>(iregs_[in.src[0]]) << (b & 63));
+            break;
+          case Opcode::Shr:
+            iregs_[in.dst] = iregs_[in.src[0]] >> (b & 63);
+            break;
+          case Opcode::CmpEq:
+            iregs_[in.dst] = iregs_[in.src[0]] == b;
+            break;
+          case Opcode::CmpNe:
+            iregs_[in.dst] = iregs_[in.src[0]] != b;
+            break;
+          case Opcode::CmpLt:
+            iregs_[in.dst] = iregs_[in.src[0]] < b;
+            break;
+          case Opcode::CmpLe:
+            iregs_[in.dst] = iregs_[in.src[0]] <= b;
+            break;
+          case Opcode::CmpGt:
+            iregs_[in.dst] = iregs_[in.src[0]] > b;
+            break;
+          case Opcode::CmpGe:
+            iregs_[in.dst] = iregs_[in.src[0]] >= b;
+            break;
+          case Opcode::Select:
+            iregs_[in.dst] = iregs_[in.src[0]] != 0 ? iregs_[in.src[1]]
+                                                    : iregs_[in.src[2]];
+            break;
+          case Opcode::MovImm:
+            iregs_[in.dst] = in.imm;
+            break;
+          case Opcode::Mov:
+            iregs_[in.dst] = iregs_[in.src[0]];
+            break;
+
+          case Opcode::FAdd:
+            fregs_[in.dst] = fregs_[in.src[0]] + fregs_[in.src[1]];
+            break;
+          case Opcode::FSub:
+            fregs_[in.dst] = fregs_[in.src[0]] - fregs_[in.src[1]];
+            break;
+          case Opcode::FMul:
+            fregs_[in.dst] = fregs_[in.src[0]] * fregs_[in.src[1]];
+            break;
+          case Opcode::FDiv:
+            fregs_[in.dst] = fregs_[in.src[0]] / fregs_[in.src[1]];
+            break;
+          case Opcode::FCmpEq:
+            iregs_[in.dst] = fregs_[in.src[0]] == fregs_[in.src[1]];
+            break;
+          case Opcode::FCmpNe:
+            iregs_[in.dst] = fregs_[in.src[0]] != fregs_[in.src[1]];
+            break;
+          case Opcode::FCmpLt:
+            iregs_[in.dst] = fregs_[in.src[0]] < fregs_[in.src[1]];
+            break;
+          case Opcode::FCmpLe:
+            iregs_[in.dst] = fregs_[in.src[0]] <= fregs_[in.src[1]];
+            break;
+          case Opcode::FCmpGt:
+            iregs_[in.dst] = fregs_[in.src[0]] > fregs_[in.src[1]];
+            break;
+          case Opcode::FCmpGe:
+            iregs_[in.dst] = fregs_[in.src[0]] >= fregs_[in.src[1]];
+            break;
+          case Opcode::FSelect:
+            fregs_[in.dst] = iregs_[in.src[0]] != 0 ? fregs_[in.src[1]]
+                                                    : fregs_[in.src[2]];
+            break;
+          case Opcode::FMovImm:
+            fregs_[in.dst] = in.fimm;
+            break;
+          case Opcode::FMov:
+            fregs_[in.dst] = fregs_[in.src[0]];
+            break;
+          case Opcode::CvtIF:
+            fregs_[in.dst] = static_cast<double>(iregs_[in.src[0]]);
+            break;
+          case Opcode::CvtFI:
+            iregs_[in.dst] = static_cast<int64_t>(fregs_[in.src[0]]);
+            break;
+
+          case Opcode::Load: {
+            const uint64_t addr = effectiveAddress(in);
+            di.addr = addr;
+            iregs_[in.dst] = mem_.loadInt(addr, in.mem.size);
+            di.loadValueBits = static_cast<uint64_t>(iregs_[in.dst]);
+            break;
+          }
+          case Opcode::FLoad: {
+            const uint64_t addr = effectiveAddress(in);
+            di.addr = addr;
+            fregs_[in.dst] = mem_.loadFp(addr);
+            std::memcpy(&di.loadValueBits, &fregs_[in.dst], 8);
+            break;
+          }
+          case Opcode::Store: {
+            const uint64_t addr = effectiveAddress(in);
+            di.addr = addr;
+            mem_.storeInt(addr, in.mem.size, iregs_[in.src[0]]);
+            break;
+          }
+          case Opcode::FStore: {
+            const uint64_t addr = effectiveAddress(in);
+            di.addr = addr;
+            mem_.storeFp(addr, fregs_[in.src[0]]);
+            break;
+          }
+          case Opcode::Prefetch:
+            // Architecturally a no-op; sinks see the address.
+            di.addr = effectiveAddress(in);
+            break;
+
+          case Opcode::Br:
+            di.taken = iregs_[in.src[0]] != 0;
+            next_bb = di.taken ? in.taken : in.notTaken;
+            next_pc = 0;
+            break;
+          case Opcode::Jmp:
+            next_bb = in.taken;
+            next_pc = 0;
+            break;
+          case Opcode::Halt:
+            halt = true;
+            break;
+        }
+
+        for (TraceSink *s : sinks_)
+            s->onInstr(di);
+        count++;
+
+        if (halt)
+            break;
+        if (count >= max_instrs) {
+            std::fprintf(stderr,
+                         "interpreter: instruction cap (%llu) exceeded "
+                         "in %s — likely a non-terminating kernel\n",
+                         static_cast<unsigned long long>(max_instrs),
+                         fn.name.c_str());
+            std::abort();
+        }
+        bb = next_bb;
+        pc = next_pc;
+    }
+
+    total_instrs_ += count;
+    for (TraceSink *s : sinks_)
+        s->onRunEnd();
+    return count;
+}
+
+} // namespace bioperf::vm

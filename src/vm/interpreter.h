@@ -1,0 +1,65 @@
+#ifndef BIOPERF_VM_INTERPRETER_H_
+#define BIOPERF_VM_INTERPRETER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+#include "vm/memory.h"
+#include "vm/trace.h"
+
+namespace bioperf::vm {
+
+/**
+ * Executes IR functions over a flat memory, streaming every retired
+ * instruction to the attached trace sinks.
+ *
+ * The interpreter plays the role ATOM played in the original study:
+ * functional execution plus complete observability. Timing is not
+ * modeled here — timing models are sinks.
+ */
+class Interpreter
+{
+  public:
+    /** Allocates memory sized for all of @a prog's regions. */
+    explicit Interpreter(const ir::Program &prog);
+
+    Memory &memory() { return mem_; }
+    const ir::Program &program() const { return prog_; }
+
+    void addSink(TraceSink *sink) { sinks_.push_back(sink); }
+    void clearSinks() { sinks_.clear(); }
+
+    /**
+     * Runs @a fn from its entry block until Halt.
+     *
+     * @param fn     function to execute (must belong to the program)
+     * @param params values for fn.params, in declaration order
+     * @param max_instrs safety cap; exceeding it is a fatal error
+     * @return the number of instructions executed
+     */
+    uint64_t run(const ir::Function &fn,
+                 const std::vector<int64_t> &params = {},
+                 uint64_t max_instrs = uint64_t(1) << 40);
+
+    /** Register values after the most recent run (for result readout). */
+    int64_t intReg(uint32_t r) const { return iregs_[r]; }
+    double fpReg(uint32_t r) const { return fregs_[r]; }
+
+    /** Instructions executed across all runs so far. */
+    uint64_t totalInstrs() const { return total_instrs_; }
+
+  private:
+    uint64_t effectiveAddress(const ir::Instr &in) const;
+
+    const ir::Program &prog_;
+    Memory mem_;
+    std::vector<TraceSink *> sinks_;
+    std::vector<int64_t> iregs_;
+    std::vector<double> fregs_;
+    uint64_t total_instrs_ = 0;
+};
+
+} // namespace bioperf::vm
+
+#endif // BIOPERF_VM_INTERPRETER_H_

@@ -1,0 +1,89 @@
+#include "vm/memory.h"
+
+namespace bioperf::vm {
+
+Memory::Memory(uint64_t size)
+{
+    assert(size >= ir::Program::kBaseAddress);
+    bytes_.assign(size - ir::Program::kBaseAddress, 0);
+}
+
+int64_t
+Memory::loadInt(uint64_t addr, uint8_t access_size) const
+{
+    assert(contains(addr, access_size));
+    const uint8_t *p = at(addr);
+    switch (access_size) {
+      case 1: {
+        int8_t v;
+        std::memcpy(&v, p, 1);
+        return v;
+      }
+      case 2: {
+        int16_t v;
+        std::memcpy(&v, p, 2);
+        return v;
+      }
+      case 4: {
+        int32_t v;
+        std::memcpy(&v, p, 4);
+        return v;
+      }
+      default: {
+        int64_t v;
+        std::memcpy(&v, p, 8);
+        return v;
+      }
+    }
+}
+
+void
+Memory::storeInt(uint64_t addr, uint8_t access_size, int64_t v)
+{
+    assert(contains(addr, access_size));
+    uint8_t *p = at(addr);
+    switch (access_size) {
+      case 1: {
+        const int8_t t = static_cast<int8_t>(v);
+        std::memcpy(p, &t, 1);
+        break;
+      }
+      case 2: {
+        const int16_t t = static_cast<int16_t>(v);
+        std::memcpy(p, &t, 2);
+        break;
+      }
+      case 4: {
+        const int32_t t = static_cast<int32_t>(v);
+        std::memcpy(p, &t, 4);
+        break;
+      }
+      default:
+        std::memcpy(p, &v, 8);
+        break;
+    }
+}
+
+double
+Memory::loadFp(uint64_t addr) const
+{
+    assert(contains(addr, 8));
+    double v;
+    std::memcpy(&v, at(addr), 8);
+    return v;
+}
+
+void
+Memory::storeFp(uint64_t addr, double v)
+{
+    assert(contains(addr, 8));
+    std::memcpy(at(addr), &v, 8);
+}
+
+void
+Memory::clear()
+{
+    std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+} // namespace bioperf::vm

@@ -1,0 +1,54 @@
+#ifndef BIOPERF_VM_TRACE_H_
+#define BIOPERF_VM_TRACE_H_
+
+#include <cstdint>
+
+#include "ir/ir.h"
+
+namespace bioperf::vm {
+
+/**
+ * One dynamically executed instruction, as observed by trace sinks.
+ *
+ * The pointed-to static instruction stays valid for the lifetime of
+ * the Program, so sinks may cache per-sid state keyed on
+ * `instr->sid`. This event stream is the repository's equivalent of
+ * the paper's ATOM instrumentation output.
+ */
+struct DynInstr
+{
+    const ir::Instr *instr = nullptr;
+    /** Dynamic sequence number within the current run (from 0). */
+    uint64_t seq = 0;
+    /** Effective address for loads/stores; 0 otherwise. */
+    uint64_t addr = 0;
+    /**
+     * Raw bits of the loaded value (sign-extended integer or double
+     * bit pattern) for Load/FLoad; 0 otherwise. Used by the
+     * value-prediction hardware models.
+     */
+    uint64_t loadValueBits = 0;
+    /** Branch direction for Br; false otherwise. */
+    bool taken = false;
+};
+
+/**
+ * Observer of the dynamic instruction stream. Multiple sinks can be
+ * attached to one Interpreter; each sees every instruction in program
+ * order (the profilers, cache models and timing cores all implement
+ * this interface).
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void onInstr(const DynInstr &di) = 0;
+
+    /** Called when one Interpreter::run() invocation finishes. */
+    virtual void onRunEnd() {}
+};
+
+} // namespace bioperf::vm
+
+#endif // BIOPERF_VM_TRACE_H_

@@ -1,0 +1,18 @@
+#ifndef BIOPERF_WORKLOAD_BLOSUM_H_
+#define BIOPERF_WORKLOAD_BLOSUM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace bioperf::workload {
+
+/**
+ * The BLOSUM62 amino-acid substitution matrix (20x20, residue order
+ * ARNDCQEGHILKMFPSTWYV), used by the alignment kernels exactly as the
+ * real blast/fasta/clustalw use it.
+ */
+const std::array<std::array<int8_t, 20>, 20> &blosum62();
+
+} // namespace bioperf::workload
+
+#endif // BIOPERF_WORKLOAD_BLOSUM_H_

@@ -1,0 +1,93 @@
+#include "workload/hmm_gen.h"
+
+#include "workload/sequences.h"
+
+namespace bioperf::workload {
+
+Plan7Model
+generateModel(util::Rng &rng, int32_t m)
+{
+    Plan7Model model;
+    model.M = m;
+    const size_t n = static_cast<size_t>(m) + 1;
+
+    auto fill_trans = [&](std::vector<int32_t> &v, int lo, int hi) {
+        v.assign(n, Plan7Model::kNegInf);
+        for (size_t k = 0; k < n; k++)
+            v[k] = static_cast<int32_t>(rng.nextRange(lo, hi));
+    };
+    // Typical HMMER2 scaled log-odds magnitudes: common transitions
+    // score near zero, rare ones strongly negative.
+    fill_trans(model.tpmm, -40, -1);
+    fill_trans(model.tpim, -300, -60);
+    fill_trans(model.tpdm, -250, -40);
+    fill_trans(model.tpmi, -350, -80);
+    fill_trans(model.tpii, -150, -20);
+    fill_trans(model.tpdd, -180, -30);
+    fill_trans(model.tpmd, -350, -80);
+
+    model.bp.assign(n, Plan7Model::kNegInf);
+    model.ep.assign(n, Plan7Model::kNegInf);
+    for (size_t k = 1; k < n; k++) {
+        // Begin/end mostly expensive, cheap at the model edges.
+        model.bp[k] = static_cast<int32_t>(
+            rng.nextRange(-500, -100) - 2 * static_cast<int64_t>(k));
+        model.ep[k] = static_cast<int32_t>(rng.nextRange(-400, -50));
+    }
+    model.bp[1] = -20;
+    model.ep[n - 1] = -10;
+
+    // Emissions: each match state prefers a few residues.
+    model.msc.assign(n * kProteinAlphabet, Plan7Model::kNegInf);
+    model.isc.assign(n * kProteinAlphabet, Plan7Model::kNegInf);
+    for (int32_t k = 1; k <= m; k++) {
+        const int fav1 = static_cast<int>(rng.nextBelow(20));
+        const int fav2 = static_cast<int>(rng.nextBelow(20));
+        for (int r = 0; r < kProteinAlphabet; r++) {
+            int32_t sc = static_cast<int32_t>(rng.nextRange(-90, -10));
+            if (r == fav1)
+                sc = static_cast<int32_t>(rng.nextRange(40, 140));
+            else if (r == fav2)
+                sc = static_cast<int32_t>(rng.nextRange(10, 60));
+            model.msc[static_cast<size_t>(r) * n + k] = sc;
+            model.isc[static_cast<size_t>(r) * n + k] =
+                static_cast<int32_t>(rng.nextRange(-40, 0));
+        }
+    }
+    return model;
+}
+
+std::vector<uint8_t>
+emitFromModel(util::Rng &rng, const Plan7Model &model)
+{
+    const size_t n = static_cast<size_t>(model.M) + 1;
+    std::vector<uint8_t> seq;
+    seq.reserve(n + 16);
+    // Random N-terminal flank.
+    const int flank = static_cast<int>(rng.nextRange(0, 12));
+    for (int i = 0; i < flank; i++)
+        seq.push_back(static_cast<uint8_t>(rng.nextBelow(20)));
+    for (int32_t k = 1; k <= model.M; k++) {
+        // Emit the state's best-scoring residue most of the time.
+        int best = 0;
+        int32_t best_sc = model.msc[k];
+        for (int r = 1; r < kProteinAlphabet; r++) {
+            const int32_t sc =
+                model.msc[static_cast<size_t>(r) * n + k];
+            if (sc > best_sc) {
+                best_sc = sc;
+                best = r;
+            }
+        }
+        if (rng.nextBool(0.15))
+            best = static_cast<int>(rng.nextBelow(20)); // mutation
+        seq.push_back(static_cast<uint8_t>(best));
+        if (rng.nextBool(0.03)) // occasional insertion
+            seq.push_back(static_cast<uint8_t>(rng.nextBelow(20)));
+    }
+    for (int i = 0; i < flank; i++)
+        seq.push_back(static_cast<uint8_t>(rng.nextBelow(20)));
+    return seq;
+}
+
+} // namespace bioperf::workload

@@ -1,0 +1,52 @@
+#ifndef BIOPERF_WORKLOAD_HMM_GEN_H_
+#define BIOPERF_WORKLOAD_HMM_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bioperf::workload {
+
+/**
+ * A Plan7-style profile HMM in HMMER2's integer log-odds score form
+ * (scaled scores, large-negative "-INFTY" clamp), the data structure
+ * P7Viterbi consumes. Arrays are sized M+1 and indexed 1..M like the
+ * original; index 0 entries hold -INFTY sentinels.
+ */
+struct Plan7Model
+{
+    /** The HMMER2 -INFTY stand-in; scores are clamped to it. */
+    static constexpr int32_t kNegInf = -987654321;
+
+    int32_t M = 0; ///< model length (number of match states)
+
+    // Transition scores, index k used as tp??[k-1] in the DP loop.
+    std::vector<int32_t> tpmm, tpim, tpdm, tpmi, tpii, tpdd, tpmd;
+    // Begin and end transition scores per state.
+    std::vector<int32_t> bp, ep;
+    // Emission scores: msc[res * (M+1) + k], 20 residues.
+    std::vector<int32_t> msc, isc;
+
+    // Special state transitions (N/B/E/C loop and move scores).
+    int32_t tnb = -12;    ///< N -> B
+    int32_t tnloop = -2;  ///< N -> N
+    int32_t tej = -30;    ///< E -> J -> B restart (folded)
+    int32_t tec = -12;    ///< E -> C
+    int32_t tcloop = -2;  ///< C -> C
+    int32_t tct = 0;      ///< C -> T
+};
+
+/** Generates a random calibrated-looking model of length @a m. */
+Plan7Model generateModel(util::Rng &rng, int32_t m);
+
+/**
+ * Samples a sequence that the model scores well (an "emitted"
+ * homolog), so hmmsearch-style runs see both hits and misses.
+ */
+std::vector<uint8_t> emitFromModel(util::Rng &rng,
+                                   const Plan7Model &model);
+
+} // namespace bioperf::workload
+
+#endif // BIOPERF_WORKLOAD_HMM_GEN_H_

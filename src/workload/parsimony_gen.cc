@@ -1,0 +1,33 @@
+#include "workload/parsimony_gen.h"
+
+namespace bioperf::workload {
+
+CharacterMatrix
+generateCharacters(util::Rng &rng, int32_t num_species, int32_t num_sites)
+{
+    CharacterMatrix m;
+    m.numSpecies = num_species;
+    m.numSites = num_sites;
+    m.states.assign(
+        static_cast<size_t>(num_species) * num_sites, 1);
+
+    // Evolve from a random ancestor along a caterpillar tree: each
+    // species is a mutated copy of the previous one, which yields
+    // characters with mixed phylogenetic signal (some informative,
+    // some noisy) like real alignments.
+    std::vector<int> anc(num_sites);
+    for (auto &s : anc)
+        s = static_cast<int>(rng.nextBelow(4));
+    std::vector<int> cur = anc;
+    for (int32_t sp = 0; sp < num_species; sp++) {
+        for (int32_t site = 0; site < num_sites; site++) {
+            if (rng.nextBool(0.25))
+                cur[site] = static_cast<int>(rng.nextBelow(4));
+            m.states[static_cast<size_t>(sp) * num_sites + site] =
+                1 << cur[site];
+        }
+    }
+    return m;
+}
+
+} // namespace bioperf::workload

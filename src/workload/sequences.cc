@@ -1,0 +1,66 @@
+#include "workload/sequences.h"
+
+#include <algorithm>
+
+namespace bioperf::workload {
+
+std::vector<uint8_t>
+randomSequence(util::Rng &rng, size_t len, int alphabet)
+{
+    std::vector<uint8_t> s(len);
+    for (auto &c : s)
+        c = static_cast<uint8_t>(rng.nextBelow(alphabet));
+    return s;
+}
+
+std::vector<uint8_t>
+mutate(util::Rng &rng, const std::vector<uint8_t> &parent,
+       double sub_rate, double indel_rate, int alphabet)
+{
+    std::vector<uint8_t> out;
+    out.reserve(parent.size() + 8);
+    for (size_t i = 0; i < parent.size(); i++) {
+        if (rng.nextBool(indel_rate)) {
+            if (rng.nextBool(0.5)) {
+                // Insertion of 1-3 random residues.
+                const int k = static_cast<int>(rng.nextRange(1, 3));
+                for (int j = 0; j < k; j++) {
+                    out.push_back(static_cast<uint8_t>(
+                        rng.nextBelow(alphabet)));
+                }
+            } else {
+                continue; // deletion
+            }
+        }
+        if (rng.nextBool(sub_rate)) {
+            out.push_back(
+                static_cast<uint8_t>(rng.nextBelow(alphabet)));
+        } else {
+            out.push_back(parent[i]);
+        }
+    }
+    if (out.empty())
+        out.push_back(0);
+    return out;
+}
+
+std::vector<std::vector<uint8_t>>
+sequenceDatabase(util::Rng &rng, size_t n, size_t mean_len, int alphabet,
+                 double related)
+{
+    const auto ancestor = randomSequence(rng, mean_len, alphabet);
+    std::vector<std::vector<uint8_t>> db;
+    db.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+        if (rng.nextBool(related)) {
+            db.push_back(mutate(rng, ancestor, 0.3, 0.02, alphabet));
+        } else {
+            const size_t len = std::max<size_t>(
+                8, mean_len / 2 + rng.nextBelow(mean_len));
+            db.push_back(randomSequence(rng, len, alphabet));
+        }
+    }
+    return db;
+}
+
+} // namespace bioperf::workload

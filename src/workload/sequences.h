@@ -1,0 +1,51 @@
+#ifndef BIOPERF_WORKLOAD_SEQUENCES_H_
+#define BIOPERF_WORKLOAD_SEQUENCES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bioperf::workload {
+
+/**
+ * Synthetic biological sequence generators.
+ *
+ * The original study used the BioPerf class-B/C input sets (SwissProt
+ * slices, Pfam models, ...), which are not redistributable here; these
+ * generators produce seeded random sequences plus mutated homolog
+ * families, which exercise the same kernel code paths: the DP loops
+ * do identical work per cell regardless of residue identity, while
+ * homologous pairs ensure the seed-and-extend codes (blast, fasta)
+ * take their hit paths at realistic rates.
+ */
+
+constexpr int kProteinAlphabet = 20;
+constexpr int kDnaAlphabet = 4;
+
+/** Uniform random sequence over [0, alphabet). */
+std::vector<uint8_t> randomSequence(util::Rng &rng, size_t len,
+                                    int alphabet);
+
+/**
+ * A mutated copy of @a parent: each position substituted with
+ * probability @a sub_rate; short indels applied with @a indel_rate.
+ */
+std::vector<uint8_t> mutate(util::Rng &rng,
+                            const std::vector<uint8_t> &parent,
+                            double sub_rate, double indel_rate,
+                            int alphabet);
+
+/**
+ * A database of @a n sequences with lengths around @a mean_len. A
+ * fraction @a related of them are mutated homologs of a common
+ * ancestor; the rest are unrelated random sequences.
+ */
+std::vector<std::vector<uint8_t>>
+sequenceDatabase(util::Rng &rng, size_t n, size_t mean_len, int alphabet,
+                 double related = 0.3);
+
+} // namespace bioperf::workload
+
+#endif // BIOPERF_WORKLOAD_SEQUENCES_H_

@@ -1,0 +1,33 @@
+#include "workload/spec_gen.h"
+
+#include <cmath>
+
+namespace bioperf::workload {
+
+std::vector<int32_t>
+zipfSchedule(util::Rng &rng, size_t n, size_t num_items, double skew)
+{
+    std::vector<double> cdf(num_items);
+    double sum = 0.0;
+    for (size_t i = 0; i < num_items; i++) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+        cdf[i] = sum;
+    }
+    std::vector<int32_t> schedule(n);
+    for (auto &s : schedule) {
+        const double u = rng.nextDouble() * sum;
+        // Binary search for the first cdf entry >= u.
+        size_t lo = 0, hi = num_items - 1;
+        while (lo < hi) {
+            const size_t mid = (lo + hi) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        s = static_cast<int32_t>(lo);
+    }
+    return schedule;
+}
+
+} // namespace bioperf::workload

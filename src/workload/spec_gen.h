@@ -1,0 +1,24 @@
+#ifndef BIOPERF_WORKLOAD_SPEC_GEN_H_
+#define BIOPERF_WORKLOAD_SPEC_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bioperf::workload {
+
+/**
+ * A schedule of @a n draws from {0, ..., num_items-1} under a
+ * Zipf-like distribution with exponent @a skew (0 = uniform). Drives
+ * the SPEC-CPU2000-like synthetic programs: the skew controls how
+ * concentrated the static load profile is, which is the Figure 2
+ * contrast between BioPerf (hot, tiny) and SPEC (flat, wide).
+ */
+std::vector<int32_t> zipfSchedule(util::Rng &rng, size_t n,
+                                  size_t num_items, double skew);
+
+} // namespace bioperf::workload
+
+#endif // BIOPERF_WORKLOAD_SPEC_GEN_H_

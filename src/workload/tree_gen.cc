@@ -1,0 +1,45 @@
+#include "workload/tree_gen.h"
+
+#include <cassert>
+
+namespace bioperf::workload {
+
+BinaryTree
+randomTree(util::Rng &rng, int32_t num_leaves)
+{
+    assert(num_leaves >= 2);
+    BinaryTree t;
+    t.numLeaves = num_leaves;
+    const int32_t num_internal = num_leaves - 1;
+    t.left.assign(num_internal, -1);
+    t.right.assign(num_internal, -1);
+
+    // Build bottom-up: maintain a pool of subtree roots and join two
+    // random ones until a single root remains; this yields internal
+    // nodes already in a valid postorder.
+    std::vector<int32_t> roots;
+    for (int32_t i = 0; i < num_leaves; i++)
+        roots.push_back(i);
+    int32_t next_internal = num_leaves;
+    while (roots.size() > 1) {
+        const size_t a = rng.nextBelow(roots.size());
+        int32_t left = roots[a];
+        roots.erase(roots.begin() + static_cast<long>(a));
+        const size_t b = rng.nextBelow(roots.size());
+        int32_t right = roots[b];
+        roots.erase(roots.begin() + static_cast<long>(b));
+
+        const int32_t id = next_internal++;
+        t.left[id - num_leaves] = left;
+        t.right[id - num_leaves] = right;
+        t.order.push_back(id);
+        roots.push_back(id);
+    }
+
+    t.branchLength.assign(static_cast<size_t>(2) * num_leaves - 1, 0.1);
+    for (auto &bl : t.branchLength)
+        bl = 0.02 + 0.5 * rng.nextDouble();
+    return t;
+}
+
+} // namespace bioperf::workload

@@ -1,0 +1,34 @@
+#ifndef BIOPERF_WORKLOAD_TREE_GEN_H_
+#define BIOPERF_WORKLOAD_TREE_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bioperf::workload {
+
+/**
+ * A rooted binary phylogeny over L leaves in array form, nodes
+ * numbered so that leaves are [0, L) and internal nodes [L, 2L-1),
+ * listed in postorder (children precede parents). Used by the
+ * likelihood (promlk) and parsimony (dnapenny) drivers.
+ */
+struct BinaryTree
+{
+    int32_t numLeaves = 0;
+    /** Children of internal node i (index by i - numLeaves). */
+    std::vector<int32_t> left, right;
+    /** Internal node ids in evaluation (post)order. */
+    std::vector<int32_t> order;
+    /** Branch length toward the parent, per node (2L-1 entries). */
+    std::vector<double> branchLength;
+};
+
+/** Random topology built by sequential leaf insertion. */
+BinaryTree randomTree(util::Rng &rng, int32_t num_leaves);
+
+} // namespace bioperf::workload
+
+#endif // BIOPERF_WORKLOAD_TREE_GEN_H_

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/builder.h"
+
+namespace bioperf::ir {
+namespace {
+
+/** Builds a diamond: entry -> (then | join), then -> join. */
+struct Diamond
+{
+    Program prog;
+    Function *fn = nullptr;
+    uint32_t then_bb = 0;
+    uint32_t join_bb = 0;
+
+    Diamond()
+    {
+        FunctionBuilder b(prog, "diamond");
+        Value x = b.param("x");
+        auto r = b.var();
+        b.assign(r, int64_t(0));
+        b.ifThen(x > 0, [&] { b.assign(r, int64_t(1)); });
+        fn = &b.finish();
+        // Block layout from ifThen: 0=entry, 1=then, 2=join.
+        then_bb = 1;
+        join_bb = 2;
+    }
+};
+
+TEST(Cfg, DiamondEdges)
+{
+    Diamond d;
+    Cfg cfg(*d.fn);
+    ASSERT_EQ(cfg.numBlocks(), 3u);
+    EXPECT_EQ(cfg.succs(0).size(), 2u);
+    EXPECT_EQ(cfg.succs(d.then_bb).size(), 1u);
+    EXPECT_EQ(cfg.succs(d.then_bb)[0], d.join_bb);
+    EXPECT_TRUE(cfg.succs(d.join_bb).empty());
+    ASSERT_EQ(cfg.preds(d.join_bb).size(), 2u);
+    EXPECT_EQ(cfg.preds(d.then_bb).size(), 1u);
+    EXPECT_TRUE(cfg.preds(0).empty());
+}
+
+TEST(Cfg, RpoStartsAtEntryAndCoversAll)
+{
+    Diamond d;
+    Cfg cfg(*d.fn);
+    ASSERT_EQ(cfg.rpo().size(), 3u);
+    EXPECT_EQ(cfg.rpo()[0], 0u);
+    // Entry precedes both others; then precedes join.
+    std::vector<size_t> pos(3);
+    for (size_t i = 0; i < 3; i++)
+        pos[cfg.rpo()[i]] = i;
+    EXPECT_LT(pos[0], pos[d.then_bb]);
+    EXPECT_LT(pos[d.then_bb], pos[d.join_bb]);
+}
+
+TEST(Dominators, Diamond)
+{
+    Diamond d;
+    Cfg cfg(*d.fn);
+    Dominators dom(*d.fn, cfg);
+    EXPECT_EQ(dom.idom(d.then_bb), 0u);
+    EXPECT_EQ(dom.idom(d.join_bb), 0u);
+    EXPECT_TRUE(dom.dominates(0, d.then_bb));
+    EXPECT_TRUE(dom.dominates(0, d.join_bb));
+    EXPECT_FALSE(dom.dominates(d.then_bb, d.join_bb));
+    EXPECT_TRUE(dom.dominates(d.join_bb, d.join_bb));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody)
+{
+    Program prog;
+    FunctionBuilder b(prog, "loop");
+    Value n = b.param("n");
+    auto i = b.var();
+    auto s = b.var();
+    b.assign(s, int64_t(0));
+    b.forLoop(i, b.constI(0), n, [&] {
+        b.assign(s, Value(s) + Value(i));
+    });
+    Function &fn = b.finish();
+    Cfg cfg(fn);
+    Dominators dom(fn, cfg);
+    // Block 1 = header, 2 = body, 3 = exit (builder layout).
+    EXPECT_TRUE(dom.dominates(1, 2));
+    EXPECT_TRUE(dom.dominates(1, 3));
+    EXPECT_TRUE(dom.dominates(0, 1));
+    EXPECT_FALSE(dom.dominates(2, 1));
+}
+
+TEST(Liveness, ValueLiveAcrossBranch)
+{
+    Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    auto r = b.var();
+    b.assign(r, x + 1); // r defined in entry
+    b.ifThen(x > 0, [&] { b.assign(r, Value(r) + 1); });
+    auto out = b.var();
+    b.assign(out, Value(r) + Value(r)); // r used in join
+    Function &fn = b.finish();
+    Cfg cfg(fn);
+    Liveness live(fn, cfg, RegClass::Int);
+    // r is live into then-block (read there) and into the join.
+    EXPECT_TRUE(live.liveIn(1, r.reg));
+    EXPECT_TRUE(live.liveIn(2, r.reg));
+    EXPECT_TRUE(live.liveOut(0, r.reg));
+    // out's register is not live into the entry block.
+    EXPECT_FALSE(live.liveIn(0, out.reg));
+}
+
+TEST(Liveness, LoopCarriedValue)
+{
+    Program prog;
+    FunctionBuilder b(prog, "f");
+    Value n = b.param("n");
+    auto acc = b.var();
+    auto i = b.var();
+    b.assign(acc, int64_t(0));
+    b.forLoop(i, b.constI(0), n, [&] {
+        b.assign(acc, Value(acc) + 1);
+    });
+    auto out = b.var();
+    b.assign(out, Value(acc));
+    Function &fn = b.finish();
+    Cfg cfg(fn);
+    Liveness live(fn, cfg, RegClass::Int);
+    // acc is live around the loop: into header (1) and body (2).
+    EXPECT_TRUE(live.liveIn(1, acc.reg));
+    EXPECT_TRUE(live.liveIn(2, acc.reg));
+    EXPECT_TRUE(live.liveOut(2, acc.reg));
+}
+
+TEST(Liveness, DeadAfterLastUse)
+{
+    Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    auto t = b.var();
+    b.assign(t, x * 2);
+    auto u = b.var();
+    b.assign(u, Value(t) + 1); // last use of t
+    b.ifThen(Value(u) > 0, [&] { b.assign(u, int64_t(0)); });
+    Function &fn = b.finish();
+    Cfg cfg(fn);
+    Liveness live(fn, cfg, RegClass::Int);
+    EXPECT_FALSE(live.liveIn(1, t.reg));
+    EXPECT_FALSE(live.liveOut(0, t.reg));
+}
+
+TEST(ReadsWrites, OfClassHelpers)
+{
+    Instr fadd;
+    fadd.op = Opcode::FAdd;
+    fadd.dst = 2;
+    fadd.src[0] = 0;
+    fadd.src[1] = 1;
+    EXPECT_EQ(readsOfClass(fadd, RegClass::Fp).size(), 2u);
+    EXPECT_TRUE(readsOfClass(fadd, RegClass::Int).empty());
+    EXPECT_EQ(writeOfClass(fadd, RegClass::Fp), 2u);
+    EXPECT_EQ(writeOfClass(fadd, RegClass::Int), kNoReg);
+}
+
+} // namespace
+} // namespace bioperf::ir

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include "cpu/inorder_core.h"
+#include "cpu/ooo_core.h"
+#include "cpu/platforms.h"
+#include "util/rng.h"
+#include "ir/builder.h"
+#include "vm/interpreter.h"
+
+namespace bioperf::cpu {
+namespace {
+
+using ir::ArrayRef;
+using ir::FunctionBuilder;
+using ir::Value;
+
+struct SimOut
+{
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    uint64_t mispredicts = 0;
+    double ipc = 0.0;
+};
+
+SimOut
+simulateOoo(ir::Program &prog, ir::Function &fn,
+            const std::vector<int64_t> &params, const CoreConfig &cfg,
+            const std::string &predictor = "hybrid",
+            mem::LatencyConfig lat = mem::LatencyConfig{ 3, 5, 72 })
+{
+    mem::CacheHierarchy caches(mem::CacheConfig{}, mem::CacheConfig{},
+                               lat);
+    auto pred = branch::makePredictor(predictor);
+    OooCore core(cfg, &caches, pred.get());
+    vm::Interpreter interp(prog);
+    interp.addSink(&core);
+    interp.run(fn, params);
+    return { core.cycles(), core.instructions(),
+             core.branchMispredictions(), core.ipc() };
+}
+
+SimOut
+simulateInorder(ir::Program &prog, ir::Function &fn,
+                const std::vector<int64_t> &params,
+                const CoreConfig &cfg,
+                const std::string &predictor = "hybrid")
+{
+    mem::CacheHierarchy caches(mem::CacheConfig{}, mem::CacheConfig{},
+                               mem::LatencyConfig{ 3, 5, 72 });
+    auto pred = branch::makePredictor(predictor);
+    InorderCore core(cfg, &caches, pred.get());
+    vm::Interpreter interp(prog);
+    interp.addSink(&core);
+    interp.run(fn, params);
+    return { core.cycles(), core.instructions(),
+             core.branchMispredictions(), core.ipc() };
+}
+
+CoreConfig
+wideCore()
+{
+    CoreConfig cfg;
+    cfg.fetchWidth = 4;
+    cfg.issueWidth = 4;
+    cfg.retireWidth = 4;
+    cfg.windowSize = 64;
+    cfg.mispredictPenalty = 7;
+    return cfg;
+}
+
+/** N independent add-immediates on rotating registers. */
+void
+buildIndependentOps(FunctionBuilder &b, int n)
+{
+    std::vector<FunctionBuilder::Var> vars;
+    for (int i = 0; i < 8; i++) {
+        vars.push_back(b.var());
+        b.assign(vars.back(), int64_t(i));
+    }
+    for (int i = 0; i < n; i++) {
+        auto &v = vars[static_cast<size_t>(i) % 8];
+        b.assign(v, Value(v) + 1);
+    }
+}
+
+TEST(OooCore, IndependentOpsApproachIssueWidth)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    buildIndependentOps(b, 4000);
+    ir::Function &fn = b.finish();
+    const SimOut out = simulateOoo(prog, fn, {}, wideCore());
+    EXPECT_GT(out.ipc, 3.2);
+    EXPECT_LE(out.ipc, 4.01);
+}
+
+TEST(OooCore, DependentChainIsLatencyBound)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    auto v = b.var();
+    b.assign(v, int64_t(0));
+    for (int i = 0; i < 2000; i++)
+        b.assign(v, Value(v) + 1);
+    ir::Function &fn = b.finish();
+    const SimOut out = simulateOoo(prog, fn, {}, wideCore());
+    // One new result per cycle regardless of width.
+    EXPECT_NEAR(out.ipc, 1.0, 0.1);
+}
+
+TEST(OooCore, LoadChainPaysL1HitLatency)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    ArrayRef arr = b.intArray("arr", 4);
+    auto v = b.var();
+    b.assign(v, int64_t(0));
+    const int n = 500;
+    for (int i = 0; i < n; i++)
+        b.assign(v, b.ld(arr, Value(v) & 3)); // address depends on value
+    ir::Function &fn = b.finish();
+    const SimOut out = simulateOoo(prog, fn, {}, wideCore());
+    // Each load costs the 3-cycle hit latency plus the address AND.
+    EXPECT_GT(out.cycles, static_cast<uint64_t>(n) * 3);
+}
+
+TEST(OooCore, CyclesMonotoneInL1Latency)
+{
+    uint64_t prev = 0;
+    for (uint32_t lat = 1; lat <= 5; lat++) {
+        ir::Program prog;
+        FunctionBuilder b(prog, "f");
+        ArrayRef arr = b.intArray("arr", 8);
+        auto v = b.var();
+        b.assign(v, int64_t(0));
+        for (int i = 0; i < 300; i++)
+            b.assign(v, b.ld(arr, Value(v) & 7) + 1);
+        ir::Function &fn = b.finish();
+        const SimOut out =
+            simulateOoo(prog, fn, {}, wideCore(), "hybrid",
+                        mem::LatencyConfig{ lat, 5, 72 });
+        EXPECT_GT(out.cycles, prev);
+        prev = out.cycles;
+    }
+}
+
+TEST(OooCore, SmallerWindowCannotBeFaster)
+{
+    auto run = [](uint32_t window) {
+        ir::Program prog;
+        FunctionBuilder b(prog, "f");
+        ArrayRef arr = b.intArray("arr", 64);
+        // Independent loads: a big window overlaps them all.
+        for (int i = 0; i < 400; i++) {
+            auto v = b.var();
+            b.assign(v, b.ld(arr, int64_t(i % 64)));
+        }
+        ir::Function &fn = b.finish();
+        CoreConfig cfg = wideCore();
+        cfg.windowSize = window;
+        return simulateOoo(prog, fn, {}, cfg).cycles;
+    };
+    EXPECT_GE(run(4), run(64));
+}
+
+TEST(OooCore, MispredictionCostsCycles)
+{
+    auto run = [](bool predictable) {
+        ir::Program prog;
+        FunctionBuilder b(prog, "f");
+        ArrayRef arr = b.intArray("arr", 256);
+        vm::Interpreter *interp_for_fill = nullptr;
+        (void)interp_for_fill;
+        auto i = b.var();
+        auto acc = b.var();
+        b.assign(acc, int64_t(0));
+        b.forLoop(i, b.constI(0), b.constI(2000), [&] {
+            const Value v = b.ld(arr, Value(i) & 255);
+            b.ifThen(v > 0, [&] {
+                b.st(arr, Value(i) & 255, Value(acc));
+                b.assign(acc, Value(acc) + 1);
+            });
+        });
+        ir::Function &fn = b.finish();
+
+        // Fill the array: all positive (predictable) or alternating
+        // noise (hard).
+        vm::Interpreter interp(prog);
+        mem::CacheHierarchy caches(
+            mem::CacheConfig{}, mem::CacheConfig{},
+            mem::LatencyConfig{ 3, 5, 72 });
+        auto pred = branch::makePredictor("hybrid");
+        CoreConfig cfg;
+        cfg.fetchWidth = 4;
+        cfg.issueWidth = 4;
+        cfg.retireWidth = 4;
+        cfg.windowSize = 64;
+        cfg.mispredictPenalty = 7;
+        OooCore core(cfg, &caches, pred.get());
+        vm::ArrayView<int32_t> view(interp.memory(),
+                                    prog.region(arr.region));
+        util::Rng rng(31);
+        for (uint64_t k = 0; k < 256; k++)
+            view.set(k, predictable ? 1
+                                    : (rng.nextBool() ? 1 : -1));
+        interp.addSink(&core);
+        interp.run(fn);
+        return std::make_pair(core.cycles(),
+                              core.branchMispredictions());
+    };
+    const auto [easy_cycles, easy_miss] = run(true);
+    const auto [hard_cycles, hard_miss] = run(false);
+    EXPECT_GT(hard_miss, easy_miss + 100);
+    EXPECT_GT(hard_cycles, easy_cycles + 1000);
+}
+
+TEST(OooCore, PerfectPredictorNeverSlower)
+{
+    for (uint64_t seed : { 1ull, 2ull, 3ull }) {
+        ir::Program prog;
+        FunctionBuilder b(prog, "f");
+        ArrayRef arr = b.intArray("arr", 128);
+        auto i = b.var();
+        auto acc = b.var();
+        b.assign(acc, int64_t(0));
+        b.forLoop(i, b.constI(0), b.constI(500), [&] {
+            const Value v = b.ld(arr, Value(i) & 127);
+            b.ifThen((v & 1) == 0,
+                     [&] { b.assign(acc, Value(acc) + 1); });
+        });
+        ir::Function &fn = b.finish();
+
+        auto run = [&](const std::string &pred_name) {
+            mem::CacheHierarchy caches(
+                mem::CacheConfig{}, mem::CacheConfig{},
+                mem::LatencyConfig{ 3, 5, 72 });
+            auto pred = branch::makePredictor(pred_name);
+            OooCore core(wideCore(), &caches, pred.get());
+            vm::Interpreter interp(prog);
+            vm::ArrayView<int32_t> view(interp.memory(),
+                                        prog.region(arr.region));
+            util::Rng rng(seed);
+            for (uint64_t k = 0; k < 128; k++)
+                view.set(k, static_cast<int32_t>(rng.next()));
+            interp.addSink(&core);
+            interp.run(fn);
+            return core.cycles();
+        };
+        EXPECT_LE(run("perfect"), run("hybrid"));
+        EXPECT_LE(run("hybrid"), run("static"));
+    }
+}
+
+TEST(OooCore, LoadFeedingBranchDelaysResolution)
+{
+    // The paper's Section 2.2 mechanism in isolation: when a
+    // mispredicted branch's condition comes straight from a load,
+    // the load's hit latency delays resolution and is added to the
+    // misprediction penalty. Raising the L1 hit latency on a
+    // load-to-branch kernel must therefore cost roughly
+    // (mispredictions x latency delta) extra cycles.
+    auto run = [](uint32_t l1_lat) {
+        ir::Program prog;
+        FunctionBuilder b(prog, "f");
+        ArrayRef arr = b.intArray("arr", 256);
+        auto i = b.var();
+        auto acc = b.var();
+        b.assign(acc, int64_t(0));
+        b.forLoop(i, b.constI(0), b.constI(3000), [&] {
+            const Value cond = b.ld(arr, Value(i) & 255) > 0;
+            b.ifThen(cond, [&] { b.assign(acc, Value(acc) + 1); });
+        });
+        ir::Function &fn = b.finish();
+
+        mem::CacheHierarchy caches(
+            mem::CacheConfig{}, mem::CacheConfig{},
+            mem::LatencyConfig{ l1_lat, 5, 72 });
+        auto pred = branch::makePredictor("static");
+        CoreConfig cfg;
+        cfg.fetchWidth = 2;
+        cfg.issueWidth = 2;
+        cfg.retireWidth = 2;
+        cfg.windowSize = 64;
+        cfg.mispredictPenalty = 7;
+        OooCore core(cfg, &caches, pred.get());
+        vm::Interpreter interp(prog);
+        vm::ArrayView<int32_t> view(interp.memory(),
+                                    prog.region(arr.region));
+        util::Rng rng(77);
+        for (uint64_t k = 0; k < 256; k++)
+            view.set(k, rng.nextBool() ? 1 : -1);
+        interp.addSink(&core);
+        interp.run(fn);
+        return std::make_pair(core.cycles(),
+                              core.branchMispredictions());
+    };
+    const auto [cycles1, miss1] = run(1);
+    const auto [cycles8, miss8] = run(8);
+    EXPECT_EQ(miss1, miss8); // same prediction behaviour
+    // Each misprediction's cost grew by ~7 cycles of load latency.
+    EXPECT_GT(cycles8, cycles1 + miss1 * 4);
+}
+
+TEST(OooCore, SecondsFollowClock)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    buildIndependentOps(b, 1000);
+    ir::Function &fn = b.finish();
+    CoreConfig cfg = wideCore();
+    cfg.clockGhz = 2.0;
+    const SimOut out = simulateOoo(prog, fn, {}, cfg);
+    mem::CacheHierarchy caches(mem::CacheConfig{}, mem::CacheConfig{},
+                               mem::LatencyConfig{ 3, 5, 72 });
+    auto pred = branch::makePredictor("hybrid");
+    OooCore core(cfg, &caches, pred.get());
+    vm::Interpreter interp(prog);
+    interp.addSink(&core);
+    interp.run(fn);
+    EXPECT_NEAR(core.seconds(),
+                static_cast<double>(out.cycles) / 2.0e9, 1e-12);
+}
+
+TEST(InorderCore, StallOnUseSlowerThanOoo)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    ArrayRef arr = b.intArray("arr", 64);
+    // Loads immediately followed by uses: in-order stalls, OoO
+    // overlaps independent pairs.
+    for (int i = 0; i < 200; i++) {
+        auto v = b.var();
+        b.assign(v, b.ld(arr, int64_t(i % 64)) + 1);
+    }
+    ir::Function &fn = b.finish();
+    CoreConfig ooo_cfg = wideCore();
+    CoreConfig in_cfg = wideCore();
+    in_cfg.outOfOrder = false;
+    const SimOut ooo = simulateOoo(prog, fn, {}, ooo_cfg);
+    const SimOut inorder = simulateInorder(prog, fn, {}, in_cfg);
+    EXPECT_GT(inorder.cycles, ooo.cycles);
+}
+
+TEST(InorderCore, WidthImprovesIndependentCode)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    buildIndependentOps(b, 2000);
+    ir::Function &fn = b.finish();
+    CoreConfig narrow;
+    narrow.outOfOrder = false;
+    narrow.issueWidth = 1;
+    CoreConfig wide;
+    wide.outOfOrder = false;
+    wide.issueWidth = 6;
+    const SimOut n1 = simulateInorder(prog, fn, {}, narrow);
+    const SimOut n6 = simulateInorder(prog, fn, {}, wide);
+    EXPECT_LT(n6.cycles, n1.cycles);
+}
+
+TEST(InorderCore, TakenBranchEndsIssueGroup)
+{
+    // A tight loop (taken back-edge every iteration) on a 6-wide
+    // in-order core cannot reach 6 IPC even with independent work.
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    auto i = b.var();
+    std::vector<FunctionBuilder::Var> acc;
+    for (int k = 0; k < 4; k++) {
+        acc.push_back(b.var());
+        b.assign(acc.back(), int64_t(0));
+    }
+    b.forLoop(i, b.constI(0), b.constI(1000), [&] {
+        for (int k = 0; k < 4; k++)
+            b.assign(acc[static_cast<size_t>(k)],
+                     Value(acc[static_cast<size_t>(k)]) + 1);
+    });
+    ir::Function &fn = b.finish();
+    CoreConfig cfg;
+    cfg.outOfOrder = false;
+    cfg.issueWidth = 6;
+    const SimOut out = simulateInorder(prog, fn, {}, cfg);
+    EXPECT_LT(out.ipc, 5.0);
+}
+
+TEST(Platforms, PresetsMatchTable7)
+{
+    const PlatformConfig alpha = alpha21264();
+    EXPECT_EQ(alpha.l1.sizeBytes, 64u * 1024);
+    EXPECT_EQ(alpha.l1.assoc, 2u);
+    EXPECT_EQ(alpha.latencies.l1HitLatency, 3u);
+    EXPECT_TRUE(alpha.core.outOfOrder);
+    EXPECT_NEAR(alpha.core.clockGhz, 0.833, 1e-9);
+    EXPECT_EQ(alpha.core.numIntRegs, 32u);
+
+    const PlatformConfig ppc = powerpcG5();
+    EXPECT_EQ(ppc.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(ppc.latencies.l1HitLatency, 3u);
+    EXPECT_NEAR(ppc.core.clockGhz, 2.7, 1e-9);
+
+    const PlatformConfig p4 = pentium4();
+    EXPECT_EQ(p4.l1.sizeBytes, 8u * 1024);
+    EXPECT_EQ(p4.l1.assoc, 4u);
+    EXPECT_EQ(p4.latencies.l1HitLatency, 2u);
+    EXPECT_EQ(p4.core.numIntRegs, 8u);
+
+    const PlatformConfig ita = itanium2();
+    EXPECT_FALSE(ita.core.outOfOrder);
+    EXPECT_EQ(ita.latencies.l1HitLatency, 1u);
+    EXPECT_EQ(ita.core.numIntRegs, 128u);
+
+    EXPECT_EQ(evaluationPlatforms().size(), 4u);
+}
+
+TEST(Platforms, FactoriesProduceWorkingComponents)
+{
+    for (const auto &p : evaluationPlatforms()) {
+        auto hierarchy = p.makeHierarchy();
+        EXPECT_EQ(hierarchy.access(0, false).level,
+                  mem::Level::Memory);
+        auto pred = p.makePredictor();
+        ASSERT_NE(pred, nullptr);
+    }
+}
+
+} // namespace
+} // namespace bioperf::cpu

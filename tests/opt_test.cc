@@ -1,0 +1,498 @@
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "ir/builder.h"
+#include "ir/verify.h"
+#include "opt/dce.h"
+#include "opt/if_conversion.h"
+#include "opt/list_schedule.h"
+#include "opt/load_hoist.h"
+#include "opt/pass.h"
+#include "util/rng.h"
+#include "vm/interpreter.h"
+
+namespace bioperf::opt {
+namespace {
+
+using ir::ArrayRef;
+using ir::FunctionBuilder;
+using ir::Opcode;
+using ir::Value;
+
+size_t
+countOp(const ir::Function &fn, Opcode op)
+{
+    size_t n = 0;
+    for (const auto &bb : fn.blocks)
+        for (const auto &in : bb.instrs)
+            if (in.op == op)
+                n++;
+    return n;
+}
+
+int64_t
+runOut(ir::Program &prog, ir::Function &fn, int32_t out_region,
+       const std::vector<int64_t> &params)
+{
+    vm::Interpreter interp(prog);
+    interp.run(fn, params);
+    vm::ArrayView<int64_t> view(interp.memory(),
+                                prog.region(out_region));
+    return view.get(0);
+}
+
+// --- if-conversion ----------------------------------------------------------
+
+struct MaxHammock
+{
+    ir::Program prog;
+    ir::Function *fn = nullptr;
+    int32_t out = -1;
+
+    MaxHammock()
+    {
+        FunctionBuilder b(prog, "maxh");
+        Value x = b.param("x");
+        Value y = b.param("y");
+        auto m = b.var();
+        b.assign(m, x);
+        b.ifThen(y > m, [&] { b.assign(m, y); });
+        ArrayRef o = b.longArray("out", 1);
+        b.st(o, 0, m);
+        out = o.region;
+        fn = &b.finish();
+    }
+};
+
+TEST(IfConversion, ConvertsRegisterHammockToSelect)
+{
+    MaxHammock h;
+    EXPECT_EQ(countOp(*h.fn, Opcode::Br), 1u);
+    IfConversionPass pass;
+    const PassResult res = pass.run(h.prog, *h.fn);
+    EXPECT_TRUE(res.changed);
+    EXPECT_EQ(res.transformed, 1u);
+    EXPECT_EQ(countOp(*h.fn, Opcode::Br), 0u);
+    EXPECT_EQ(countOp(*h.fn, Opcode::Select), 1u);
+    EXPECT_EQ(ir::verify(h.prog, *h.fn), "");
+    EXPECT_EQ(runOut(h.prog, *h.fn, h.out, { 3, 9 }), 9);
+    EXPECT_EQ(runOut(h.prog, *h.fn, h.out, { 9, 3 }), 9);
+}
+
+TEST(IfConversion, RefusesStoresInThenBlock)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    ArrayRef o = b.longArray("out", 1);
+    b.ifThen(x > 0, [&] { b.st(o, 0, x); });
+    ir::Function &fn = b.finish();
+    IfConversionPass pass;
+    const PassResult res = pass.run(prog, fn);
+    EXPECT_FALSE(res.changed);
+    EXPECT_EQ(countOp(fn, Opcode::Br), 1u);
+}
+
+TEST(IfConversion, RefusesLargeBlocks)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    auto m = b.var();
+    b.assign(m, x);
+    b.ifThen(x > 0, [&] {
+        for (int i = 0; i < 10; i++)
+            b.assign(m, Value(m) + 1);
+    });
+    ir::Function &fn = b.finish();
+    IfConversionPass pass(4);
+    EXPECT_FALSE(pass.run(prog, fn).changed);
+}
+
+TEST(IfConversion, ChainedDependentUpdatesStayCorrect)
+{
+    // THEN block where the second instruction reads the first's
+    // result: select ordering must preserve the dataflow.
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    auto a = b.var();
+    auto c = b.var();
+    b.assign(a, x);
+    b.assign(c, int64_t(5));
+    b.ifThen(x > 0, [&] {
+        b.assign(a, Value(a) + 1);
+        b.assign(c, Value(a) * 2); // reads updated a
+    });
+    ArrayRef o = b.longArray("out", 1);
+    b.st(o, 0, Value(a) * 1000 + Value(c));
+    ir::Function &fn = b.finish();
+    IfConversionPass pass;
+    ASSERT_TRUE(pass.run(prog, fn).changed);
+    EXPECT_EQ(runOut(prog, fn, o.region, { 4 }), 5 * 1000 + 10);
+    EXPECT_EQ(runOut(prog, fn, o.region, { -4 }), -4 * 1000 + 5);
+}
+
+TEST(IfConversion, FpHammock)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    auto m = b.fvar();
+    b.assign(m, 1.0);
+    b.ifThen(x > 0, [&] { b.assign(m, ir::FValue(m) + ir::FValue(m)); });
+    ArrayRef o = b.fpArray("out", 1);
+    b.fst(o, 0, m);
+    ir::Function &fn = b.finish();
+    IfConversionPass pass;
+    ASSERT_TRUE(pass.run(prog, fn).changed);
+    EXPECT_EQ(countOp(fn, Opcode::FSelect), 1u);
+    vm::Interpreter interp(prog);
+    interp.run(fn, { 1 });
+    vm::ArrayView<double> view(interp.memory(), prog.region(o.region));
+    EXPECT_DOUBLE_EQ(view.get(0), 2.0);
+    interp.run(fn, { -1 });
+    EXPECT_DOUBLE_EQ(view.get(0), 1.0);
+}
+
+// --- load hoisting ----------------------------------------------------------
+
+/**
+ * The Figure 5 situation: inside a conditionally executed block, a
+ * store to one array (mc) precedes loads from others (va). Hoisting
+ * the load above the store — and then above the guarding branch into
+ * the predecessor — requires knowing the arrays never alias, exactly
+ * the disambiguation compilers fail at.
+ */
+struct GuardedLoad
+{
+    ir::Program prog;
+    ir::Function *fn = nullptr;
+    int32_t out = -1;
+    int32_t va = -1;
+
+    GuardedLoad()
+    {
+        FunctionBuilder b(prog, "guarded");
+        Value x = b.param("x");
+        Value j = b.param("j");
+        ArrayRef mc = b.intArray("mc", 8);
+        ArrayRef va_arr = b.intArray("va", 8);
+        ArrayRef o = b.longArray("out", 1);
+        va = va_arr.region;
+        out = o.region;
+        b.ifThen(x > 0, [&] {
+            b.st(mc, j, x); // the intervening store
+            const Value c = b.ld(va_arr, j);
+            b.st(o, 0, c);
+        });
+        fn = &b.finish();
+    }
+
+    size_t
+    loadsInBlock(uint32_t bb) const
+    {
+        size_t n = 0;
+        for (const auto &in : fn->blocks[bb].instrs)
+            if (ir::isLoad(in.op))
+                n++;
+        return n;
+    }
+};
+
+TEST(LoadHoist, ConservativeOracleBlocksHoist)
+{
+    GuardedLoad g;
+    LoadHoistPass pass(
+        DisambiguationOracle(DisambiguationOracle::Mode::Conservative));
+    const PassResult res = pass.run(g.prog, *g.fn);
+    EXPECT_EQ(res.transformed, 0u);
+    EXPECT_EQ(g.loadsInBlock(1), 1u); // load stays in the then-block
+}
+
+TEST(LoadHoist, RegionOracleHoistsAboveStoreAndBranch)
+{
+    GuardedLoad g;
+    LoadHoistPass pass(
+        DisambiguationOracle(DisambiguationOracle::Mode::RegionBased));
+    const PassResult res = pass.run(g.prog, *g.fn);
+    EXPECT_GE(res.transformed, 1u);
+    EXPECT_EQ(ir::verify(g.prog, *g.fn), "");
+    // The then-block (1) lost its load; the entry (0) gained it (now
+    // executed speculatively, which a known region makes safe).
+    EXPECT_EQ(g.loadsInBlock(1), 0u);
+    EXPECT_EQ(g.loadsInBlock(0), 1u);
+}
+
+TEST(LoadHoist, SemanticsPreservedEitherWay)
+{
+    for (auto mode : { DisambiguationOracle::Mode::Conservative,
+                       DisambiguationOracle::Mode::RegionBased }) {
+        GuardedLoad g;
+        LoadHoistPass pass{DisambiguationOracle(mode)};
+        pass.run(g.prog, *g.fn);
+        vm::Interpreter interp(g.prog);
+        vm::ArrayView<int32_t> va_view(interp.memory(),
+                                       g.prog.region(g.va));
+        va_view.set(2, 77);
+        vm::ArrayView<int64_t> o(interp.memory(), g.prog.region(g.out));
+        interp.run(*g.fn, { 5, 2 });
+        EXPECT_EQ(o.get(0), 77); // guarded path writes va[j]
+        o.set(0, -1);
+        interp.run(*g.fn, { -5, 2 });
+        EXPECT_EQ(o.get(0), -1); // untaken path leaves out alone
+    }
+}
+
+TEST(LoadHoist, UnknownRegionNeverHoisted)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    const int32_t pool = prog.addRegion("pool", 8, 4);
+    auto c = b.var();
+    b.assign(c, int64_t(0));
+    Value addr = b.constI(static_cast<int64_t>(prog.region(pool).base));
+    b.ifThen(x > 0, [&] {
+        b.assign(c, b.ldAt(addr, 0, 8, -1)); // region unknown
+    });
+    ArrayRef o = b.longArray("out", 1);
+    b.st(o, 0, c);
+    ir::Function &fn = b.finish();
+    LoadHoistPass pass(
+        DisambiguationOracle(DisambiguationOracle::Mode::RegionBased));
+    EXPECT_EQ(pass.run(prog, fn).transformed, 0u);
+}
+
+TEST(LoadHoist, RefusesWhenAddressComputedInBlock)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    ArrayRef arr = b.intArray("arr", 8);
+    auto c = b.var();
+    b.assign(c, int64_t(0));
+    b.ifThen(x > 0, [&] {
+        const Value idx = Value(x) & 7; // address dep inside block
+        b.assign(c, b.ld(arr, idx));
+    });
+    ArrayRef o = b.longArray("out", 1);
+    b.st(o, 0, c);
+    ir::Function &fn = b.finish();
+    LoadHoistPass pass(
+        DisambiguationOracle(DisambiguationOracle::Mode::RegionBased));
+    // The load's index is defined inside the block, so only the
+    // index computation blocks it; the load must stay put.
+    EXPECT_EQ(pass.run(prog, fn).transformed, 0u);
+}
+
+// --- list scheduling --------------------------------------------------------
+
+TEST(ListSchedule, SeparatesLoadFromUse)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    ArrayRef arr = b.intArray("arr", 8);
+    // ld a; use a; ld b; use b  ->  schedule should pull the second
+    // load above the first use.
+    const Value a = b.ld(arr, int64_t(0));
+    auto ua = b.var();
+    b.assign(ua, a + 1);
+    const Value bv = b.ld(arr, int64_t(1));
+    auto ub = b.var();
+    b.assign(ub, bv + 1);
+    ArrayRef o = b.longArray("out", 1);
+    b.st(o, 0, Value(ua) + Value(ub));
+    ir::Function &fn = b.finish();
+
+    ListSchedulePass pass(
+        DisambiguationOracle(DisambiguationOracle::Mode::RegionBased));
+    const PassResult res = pass.run(prog, fn);
+    EXPECT_TRUE(res.changed);
+    // Both loads should now precede both adds in the entry block.
+    const auto &instrs = fn.blocks[0].instrs;
+    std::vector<size_t> load_pos, add_pos;
+    for (size_t i = 0; i < instrs.size(); i++) {
+        if (ir::isLoad(instrs[i].op))
+            load_pos.push_back(i);
+        if (instrs[i].op == Opcode::Add)
+            add_pos.push_back(i);
+    }
+    ASSERT_EQ(load_pos.size(), 2u);
+    EXPECT_LT(load_pos[1], add_pos[0] + 2);
+    EXPECT_EQ(runOut(prog, fn, o.region, {}), 2);
+}
+
+TEST(ListSchedule, RespectsMemoryDependences)
+{
+    // store then aliasing load must not be reordered.
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    ArrayRef arr = b.intArray("arr", 4);
+    b.st(arr, int64_t(0), b.constI(42));
+    const Value v = b.ld(arr, int64_t(0));
+    ArrayRef o = b.longArray("out", 1);
+    b.st(o, 0, v);
+    ir::Function &fn = b.finish();
+    ListSchedulePass pass(
+        DisambiguationOracle(DisambiguationOracle::Mode::Conservative));
+    pass.run(prog, fn);
+    EXPECT_EQ(runOut(prog, fn, o.region, {}), 42);
+}
+
+TEST(ListSchedule, PreservesSemanticsOnRandomPrograms)
+{
+    util::Rng rng(5);
+    for (int trial = 0; trial < 10; trial++) {
+        ir::Program prog;
+        FunctionBuilder b(prog, "f");
+        ArrayRef arr = b.intArray("arr", 16);
+        Value x = b.param("x");
+        auto acc = b.var();
+        b.assign(acc, x);
+        for (int i = 0; i < 30; i++) {
+            switch (rng.nextBelow(4)) {
+              case 0:
+                b.assign(acc, Value(acc) + static_cast<int64_t>(
+                                               rng.nextRange(-9, 9)));
+                break;
+              case 1:
+                b.st(arr, static_cast<int64_t>(rng.nextBelow(16)),
+                     Value(acc));
+                break;
+              case 2:
+                b.assign(acc,
+                         Value(acc) +
+                             b.ld(arr, static_cast<int64_t>(
+                                           rng.nextBelow(16))));
+                break;
+              default:
+                b.assign(acc, Value(acc) * 3);
+                break;
+            }
+        }
+        ArrayRef o = b.longArray("out", 1);
+        b.st(o, 0, acc);
+        ir::Function &fn = b.finish();
+
+        const int64_t before = runOut(prog, fn, o.region, { 7 });
+        ListSchedulePass pass{DisambiguationOracle(
+            DisambiguationOracle::Mode::Conservative)};
+        pass.run(prog, fn);
+        EXPECT_EQ(ir::verify(prog, fn), "");
+        EXPECT_EQ(runOut(prog, fn, o.region, { 7 }), before)
+            << "trial " << trial;
+    }
+}
+
+// --- dead code elimination ---------------------------------------------------
+
+TEST(Dce, RemovesDeadArithmeticAndLoads)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    ArrayRef arr = b.intArray("arr", 4);
+    const Value dead1 = b.ld(arr, int64_t(0));
+    (void)dead1;
+    const Value dead2 = b.constI(5) * 3;
+    (void)dead2;
+    ArrayRef o = b.longArray("out", 1);
+    b.st(o, 0, b.constI(9));
+    ir::Function &fn = b.finish();
+    const size_t before = fn.numInstrs();
+    DcePass pass;
+    const PassResult res = pass.run(prog, fn);
+    EXPECT_TRUE(res.changed);
+    EXPECT_GE(res.transformed, 3u); // ld, movi, mul at least
+    EXPECT_LT(fn.numInstrs(), before);
+    EXPECT_EQ(runOut(prog, fn, o.region, {}), 9);
+}
+
+TEST(Dce, KeepsStoresAndUsedValues)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    ArrayRef o = b.longArray("out", 1);
+    const Value v = b.constI(4) + 5;
+    b.st(o, 0, v);
+    ir::Function &fn = b.finish();
+    DcePass pass;
+    pass.run(prog, fn);
+    EXPECT_EQ(countOp(fn, Opcode::Store), 1u);
+    EXPECT_EQ(runOut(prog, fn, o.region, {}), 9);
+}
+
+TEST(Dce, TransitiveChains)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    // a -> b -> c, all dead.
+    const Value a = b.constI(1);
+    const Value bb2 = a + 1;
+    const Value c = bb2 + 1;
+    (void)c;
+    ArrayRef o = b.longArray("out", 1);
+    b.st(o, 0, b.constI(0));
+    ir::Function &fn = b.finish();
+    DcePass pass;
+    const PassResult res = pass.run(prog, fn);
+    EXPECT_EQ(res.transformed, 3u);
+}
+
+// --- pass manager & oracle ---------------------------------------------------
+
+TEST(Oracle, Modes)
+{
+    ir::MemRef a;
+    a.region = 0;
+    ir::MemRef b2;
+    b2.region = 1;
+    ir::MemRef unknown;
+    unknown.region = -1;
+
+    DisambiguationOracle cons(DisambiguationOracle::Mode::Conservative);
+    EXPECT_TRUE(cons.mayAlias(a, b2));
+    EXPECT_TRUE(cons.mayAlias(a, a));
+
+    DisambiguationOracle region(DisambiguationOracle::Mode::RegionBased);
+    EXPECT_FALSE(region.mayAlias(a, b2));
+    EXPECT_TRUE(region.mayAlias(a, a));
+    EXPECT_TRUE(region.mayAlias(a, unknown));
+}
+
+TEST(PassManager, RunsAllAndRenumbers)
+{
+    MaxHammock h;
+    PassManager pm;
+    pm.add(std::make_unique<IfConversionPass>());
+    pm.add(std::make_unique<DcePass>());
+    pm.run(h.prog, *h.fn);
+    // Dense sids after renumbering.
+    uint32_t expected = 0;
+    for (const auto &bb : h.fn->blocks)
+        for (const auto &in : bb.instrs)
+            EXPECT_EQ(in.sid, expected++);
+    EXPECT_EQ(runOut(h.prog, *h.fn, h.out, { 1, 2 }), 2);
+}
+
+/** Property: the full compile pipeline preserves app semantics. */
+TEST(Pipeline, CompileKernelPreservesAllApps)
+{
+    for (const auto &app : apps::bioperfApps()) {
+        // compileKernel already ran inside the factory; run the
+        // hoisting pass on top with region knowledge and re-verify.
+        apps::AppRun run =
+            app.make(apps::Variant::Baseline, apps::Scale::Small, 3);
+        LoadHoistPass hoist{DisambiguationOracle(
+            DisambiguationOracle::Mode::RegionBased)};
+        for (size_t f = 0; f < run.prog->numFunctions(); f++)
+            hoist.run(*run.prog, run.prog->function(f));
+        EXPECT_EQ(ir::verify(*run.prog), "") << app.name;
+        vm::Interpreter interp(*run.prog);
+        run.driver(interp);
+        EXPECT_TRUE(run.verify()) << app.name;
+    }
+}
+
+} // namespace
+} // namespace bioperf::opt

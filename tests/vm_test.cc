@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ir/builder.h"
+#include "vm/interpreter.h"
+#include "vm/memory.h"
+#include "vm/trace.h"
+
+namespace bioperf::vm {
+namespace {
+
+using ir::ArrayRef;
+using ir::FunctionBuilder;
+using ir::Opcode;
+using ir::Value;
+
+TEST(Memory, IntSizesSignExtendAndTruncate)
+{
+    Memory mem(ir::Program::kBaseAddress + 64);
+    const uint64_t a = ir::Program::kBaseAddress;
+    mem.storeInt(a, 1, 0x1ff);
+    EXPECT_EQ(mem.loadInt(a, 1), -1);
+    mem.storeInt(a, 2, 0x18000);
+    EXPECT_EQ(mem.loadInt(a, 2), -32768);
+    mem.storeInt(a, 4, 0x1ffffffffll);
+    EXPECT_EQ(mem.loadInt(a, 4), -1);
+    mem.storeInt(a, 8, -42);
+    EXPECT_EQ(mem.loadInt(a, 8), -42);
+}
+
+TEST(Memory, FpRoundTrip)
+{
+    Memory mem(ir::Program::kBaseAddress + 64);
+    const uint64_t a = ir::Program::kBaseAddress;
+    mem.storeFp(a, 3.14159);
+    EXPECT_DOUBLE_EQ(mem.loadFp(a), 3.14159);
+}
+
+TEST(Memory, ClearZeroes)
+{
+    Memory mem(ir::Program::kBaseAddress + 64);
+    const uint64_t a = ir::Program::kBaseAddress;
+    mem.storeInt(a, 8, 99);
+    mem.clear();
+    EXPECT_EQ(mem.loadInt(a, 8), 0);
+}
+
+TEST(Memory, LittleEndianLayout)
+{
+    Memory mem(ir::Program::kBaseAddress + 64);
+    const uint64_t a = ir::Program::kBaseAddress;
+    mem.storeInt(a, 4, 0x04030201);
+    EXPECT_EQ(mem.loadInt(a, 1), 0x01);
+    EXPECT_EQ(mem.loadInt(a + 1, 1), 0x02);
+}
+
+// --- parameterized binary integer op semantics -----------------------------
+
+using BinOpCase = std::tuple<Opcode, int64_t, int64_t, int64_t>;
+
+class BinOpTest : public ::testing::TestWithParam<BinOpCase>
+{
+};
+
+TEST_P(BinOpTest, MatchesHostSemantics)
+{
+    const auto [op, a, b_val, expect] = GetParam();
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    Value y = b.param("y");
+    auto r = b.var();
+    b.assign(r, b.emitBin(op, x, y));
+    ir::Function &fn = b.finish();
+    Interpreter interp(prog);
+    interp.run(fn, { a, b_val });
+    EXPECT_EQ(interp.intReg(r.reg), expect)
+        << ir::opcodeName(op) << " " << a << ", " << b_val;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinOps, BinOpTest,
+    ::testing::Values(
+        BinOpCase{ Opcode::Add, 7, -3, 4 },
+        BinOpCase{ Opcode::Sub, 7, -3, 10 },
+        BinOpCase{ Opcode::Mul, -4, 6, -24 },
+        BinOpCase{ Opcode::Div, 17, 5, 3 },
+        BinOpCase{ Opcode::Div, -17, 5, -3 },
+        BinOpCase{ Opcode::Div, 17, 0, 0 },  // defined: no trap
+        BinOpCase{ Opcode::Rem, 17, 5, 2 },
+        BinOpCase{ Opcode::Rem, 17, 0, 0 },
+        BinOpCase{ Opcode::And, 0b1100, 0b1010, 0b1000 },
+        BinOpCase{ Opcode::Or, 0b1100, 0b1010, 0b1110 },
+        BinOpCase{ Opcode::Xor, 0b1100, 0b1010, 0b0110 },
+        BinOpCase{ Opcode::Shl, 3, 4, 48 },
+        BinOpCase{ Opcode::Shr, -16, 2, -4 }, // arithmetic shift
+        BinOpCase{ Opcode::CmpEq, 5, 5, 1 },
+        BinOpCase{ Opcode::CmpEq, 5, 6, 0 },
+        BinOpCase{ Opcode::CmpNe, 5, 6, 1 },
+        BinOpCase{ Opcode::CmpLt, -2, -1, 1 },
+        BinOpCase{ Opcode::CmpLe, -1, -1, 1 },
+        BinOpCase{ Opcode::CmpGt, 0, -1, 1 },
+        BinOpCase{ Opcode::CmpGe, -1, 0, 0 }));
+
+TEST(Interpreter, ImmediateForms)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    auto r = b.var();
+    b.assign(r, ((x + 5) << 1) - 3);
+    ir::Function &fn = b.finish();
+    Interpreter interp(prog);
+    interp.run(fn, { 10 });
+    EXPECT_EQ(interp.intReg(r.reg), 27);
+}
+
+TEST(Interpreter, SelectSemantics)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value c = b.param("c");
+    auto r = b.var();
+    b.assign(r, b.select(c, b.constI(10), b.constI(20)));
+    ir::Function &fn = b.finish();
+    Interpreter interp(prog);
+    interp.run(fn, { 1 });
+    EXPECT_EQ(interp.intReg(r.reg), 10);
+    interp.run(fn, { 0 });
+    EXPECT_EQ(interp.intReg(r.reg), 20);
+    interp.run(fn, { -7 }); // any nonzero condition selects
+    EXPECT_EQ(interp.intReg(r.reg), 10);
+}
+
+TEST(Interpreter, FSelectSemantics)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value c = b.param("c");
+    ArrayRef out = b.fpArray("out", 1);
+    b.fst(out, 0, b.fselect(c, b.constF(1.5), b.constF(2.5)));
+    ir::Function &fn = b.finish();
+    Interpreter interp(prog);
+    interp.run(fn, { 1 });
+    ArrayView<double> view(interp.memory(), prog.region(out.region));
+    EXPECT_DOUBLE_EQ(view.get(0), 1.5);
+    interp.run(fn, { 0 });
+    EXPECT_DOUBLE_EQ(view.get(0), 2.5);
+}
+
+TEST(Interpreter, RegistersZeroInitializedPerRun)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    auto r = b.var();
+    b.assign(r, Value(r) + 1); // reads its own pre-state
+    ir::Function &fn = b.finish();
+    Interpreter interp(prog);
+    interp.run(fn);
+    EXPECT_EQ(interp.intReg(r.reg), 1);
+    interp.run(fn);
+    EXPECT_EQ(interp.intReg(r.reg), 1); // not 2: fresh registers
+}
+
+TEST(Interpreter, MemoryPersistsAcrossRuns)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    ArrayRef arr = b.intArray("arr", 1);
+    b.st(arr, int64_t(0), b.ld(arr, int64_t(0)) + 1);
+    ir::Function &fn = b.finish();
+    Interpreter interp(prog);
+    interp.run(fn);
+    interp.run(fn);
+    interp.run(fn);
+    ArrayView<int32_t> view(interp.memory(), prog.region(arr.region));
+    EXPECT_EQ(view.get(0), 3);
+}
+
+/** Collects the full dynamic trace for inspection. */
+class CollectingSink : public TraceSink
+{
+  public:
+    struct Rec
+    {
+        Opcode op;
+        uint64_t seq;
+        uint64_t addr;
+        bool taken;
+    };
+    std::vector<Rec> recs;
+    int run_ends = 0;
+
+    void
+    onInstr(const DynInstr &di) override
+    {
+        recs.push_back({ di.instr->op, di.seq, di.addr, di.taken });
+    }
+    void onRunEnd() override { run_ends++; }
+};
+
+TEST(Trace, StreamContents)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    ArrayRef arr = b.intArray("arr", 4);
+    Value x = b.param("x");
+    b.st(arr, int64_t(2), x);
+    b.ifThen(x > 0, [&] { b.st(arr, int64_t(3), x); });
+    ir::Function &fn = b.finish();
+
+    CollectingSink sink;
+    Interpreter interp(prog);
+    interp.addSink(&sink);
+    const uint64_t n = interp.run(fn, { 5 });
+    EXPECT_EQ(sink.recs.size(), n);
+    EXPECT_EQ(sink.run_ends, 1);
+
+    // Sequence numbers are dense and ordered.
+    for (size_t i = 0; i < sink.recs.size(); i++)
+        EXPECT_EQ(sink.recs[i].seq, i);
+
+    // The first store's address is arr base + 2*4.
+    bool found_store = false, found_branch = false;
+    const uint64_t base = prog.region(arr.region).base;
+    for (const auto &r : sink.recs) {
+        if (r.op == Opcode::Store && !found_store) {
+            EXPECT_EQ(r.addr, base + 8);
+            found_store = true;
+        }
+        if (r.op == Opcode::Br) {
+            EXPECT_TRUE(r.taken); // x=5 > 0
+            found_branch = true;
+        }
+    }
+    EXPECT_TRUE(found_store);
+    EXPECT_TRUE(found_branch);
+}
+
+TEST(Trace, BranchNotTakenReported)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    Value x = b.param("x");
+    auto r = b.var();
+    b.ifThen(x > 0, [&] { b.assign(r, int64_t(1)); });
+    ir::Function &fn = b.finish();
+    CollectingSink sink;
+    Interpreter interp(prog);
+    interp.addSink(&sink);
+    interp.run(fn, { -1 });
+    bool saw = false;
+    for (const auto &rec : sink.recs) {
+        if (rec.op == Opcode::Br) {
+            EXPECT_FALSE(rec.taken);
+            saw = true;
+        }
+    }
+    EXPECT_TRUE(saw);
+}
+
+TEST(Trace, MultipleSinksSeeIdenticalStream)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    auto i = b.var();
+    auto s = b.var();
+    b.assign(s, int64_t(0));
+    b.forLoop(i, b.constI(0), b.constI(9), [&] {
+        b.assign(s, Value(s) + Value(i));
+    });
+    ir::Function &fn = b.finish();
+    CollectingSink s1, s2;
+    Interpreter interp(prog);
+    interp.addSink(&s1);
+    interp.addSink(&s2);
+    interp.run(fn);
+    ASSERT_EQ(s1.recs.size(), s2.recs.size());
+    for (size_t i2 = 0; i2 < s1.recs.size(); i2++) {
+        EXPECT_EQ(s1.recs[i2].op, s2.recs[i2].op);
+        EXPECT_EQ(s1.recs[i2].addr, s2.recs[i2].addr);
+    }
+}
+
+TEST(Interpreter, TotalInstrsAccumulates)
+{
+    ir::Program prog;
+    FunctionBuilder b(prog, "f");
+    auto x = b.var();
+    b.assign(x, int64_t(1));
+    ir::Function &fn = b.finish();
+    Interpreter interp(prog);
+    const uint64_t n1 = interp.run(fn);
+    const uint64_t n2 = interp.run(fn);
+    EXPECT_EQ(n1, n2);
+    EXPECT_EQ(interp.totalInstrs(), n1 + n2);
+}
+
+} // namespace
+} // namespace bioperf::vm

