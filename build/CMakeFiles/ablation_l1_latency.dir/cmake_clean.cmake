@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1_latency.dir/bench/ablation_l1_latency.cc.o"
+  "CMakeFiles/ablation_l1_latency.dir/bench/ablation_l1_latency.cc.o.d"
+  "bench/ablation_l1_latency"
+  "bench/ablation_l1_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predictor.dir/bench/ablation_predictor.cc.o"
+  "CMakeFiles/ablation_predictor.dir/bench/ablation_predictor.cc.o.d"
+  "bench/ablation_predictor"
+  "bench/ablation_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_table1_instruction_mix.dir/bench/fig1_table1_instruction_mix.cc.o"
+  "CMakeFiles/fig1_table1_instruction_mix.dir/bench/fig1_table1_instruction_mix.cc.o.d"
+  "bench/fig1_table1_instruction_mix"
+  "bench/fig1_table1_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_table1_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_load_coverage.dir/bench/fig2_load_coverage.cc.o"
+  "CMakeFiles/fig2_load_coverage.dir/bench/fig2_load_coverage.cc.o.d"
+  "bench/fig2_load_coverage"
+  "bench/fig2_load_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_load_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pipeline_walkthrough.dir/bench/fig4_pipeline_walkthrough.cc.o"
+  "CMakeFiles/fig4_pipeline_walkthrough.dir/bench/fig4_pipeline_walkthrough.cc.o.d"
+  "bench/fig4_pipeline_walkthrough"
+  "bench/fig4_pipeline_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pipeline_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

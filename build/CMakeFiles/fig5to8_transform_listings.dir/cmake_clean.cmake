@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5to8_transform_listings.dir/bench/fig5to8_transform_listings.cc.o"
+  "CMakeFiles/fig5to8_transform_listings.dir/bench/fig5to8_transform_listings.cc.o.d"
+  "bench/fig5to8_transform_listings"
+  "bench/fig5to8_transform_listings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5to8_transform_listings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5to8_transform_listings.
+# This may be replaced when dependencies are built.

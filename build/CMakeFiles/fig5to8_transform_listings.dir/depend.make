@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5to8_transform_listings.
+# This may be replaced when dependencies are built.

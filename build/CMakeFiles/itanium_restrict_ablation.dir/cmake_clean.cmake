@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itanium_restrict_ablation.dir/bench/itanium_restrict_ablation.cc.o"
+  "CMakeFiles/itanium_restrict_ablation.dir/bench/itanium_restrict_ablation.cc.o.d"
+  "bench/itanium_restrict_ablation"
+  "bench/itanium_restrict_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itanium_restrict_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

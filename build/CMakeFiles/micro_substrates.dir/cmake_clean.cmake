@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_substrates.dir/bench/micro_substrates.cc.o"
+  "CMakeFiles/micro_substrates.dir/bench/micro_substrates.cc.o.d"
+  "bench/micro_substrates"
+  "bench/micro_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_ablation.dir/bench/prefetch_ablation.cc.o"
+  "CMakeFiles/prefetch_ablation.dir/bench/prefetch_ablation.cc.o.d"
+  "bench/prefetch_ablation"
+  "bench/prefetch_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_hardware.dir/bench/related_work_hardware.cc.o"
+  "CMakeFiles/related_work_hardware.dir/bench/related_work_hardware.cc.o.d"
+  "bench/related_work_hardware"
+  "bench/related_work_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_table3_cache.dir/bench/table2_table3_cache.cc.o"
+  "CMakeFiles/table2_table3_cache.dir/bench/table2_table3_cache.cc.o.d"
+  "bench/table2_table3_cache"
+  "bench/table2_table3_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_table3_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

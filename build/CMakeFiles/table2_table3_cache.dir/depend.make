@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_table3_cache.
+# This may be replaced when dependencies are built.

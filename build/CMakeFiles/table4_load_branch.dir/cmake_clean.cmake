@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_load_branch.dir/bench/table4_load_branch.cc.o"
+  "CMakeFiles/table4_load_branch.dir/bench/table4_load_branch.cc.o.d"
+  "bench/table4_load_branch"
+  "bench/table4_load_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_load_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

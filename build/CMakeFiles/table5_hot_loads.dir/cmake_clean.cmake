@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hot_loads.dir/bench/table5_hot_loads.cc.o"
+  "CMakeFiles/table5_hot_loads.dir/bench/table5_hot_loads.cc.o.d"
+  "bench/table5_hot_loads"
+  "bench/table5_hot_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hot_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_transform_footprint.dir/bench/table6_transform_footprint.cc.o"
+  "CMakeFiles/table6_transform_footprint.dir/bench/table6_transform_footprint.cc.o.d"
+  "bench/table6_transform_footprint"
+  "bench/table6_transform_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_transform_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_transform_footprint.
+# This may be replaced when dependencies are built.

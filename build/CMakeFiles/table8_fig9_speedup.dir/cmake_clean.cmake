@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_fig9_speedup.dir/bench/table8_fig9_speedup.cc.o"
+  "CMakeFiles/table8_fig9_speedup.dir/bench/table8_fig9_speedup.cc.o.d"
+  "bench/table8_fig9_speedup"
+  "bench/table8_fig9_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_fig9_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

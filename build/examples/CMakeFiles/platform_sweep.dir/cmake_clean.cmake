@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_sweep.dir/platform_sweep.cpp.o"
+  "CMakeFiles/platform_sweep.dir/platform_sweep.cpp.o.d"
+  "platform_sweep"
+  "platform_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

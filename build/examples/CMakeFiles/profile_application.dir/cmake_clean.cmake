@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_application.dir/profile_application.cpp.o"
+  "CMakeFiles/profile_application.dir/profile_application.cpp.o.d"
+  "profile_application"
+  "profile_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_speedup.dir/transform_speedup.cpp.o"
+  "CMakeFiles/transform_speedup.dir/transform_speedup.cpp.o.d"
+  "transform_speedup"
+  "transform_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

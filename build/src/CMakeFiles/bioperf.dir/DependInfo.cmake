@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/CMakeFiles/bioperf.dir/apps/app.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/app.cc.o.d"
+  "/root/repo/src/apps/blast/blast.cc" "src/CMakeFiles/bioperf.dir/apps/blast/blast.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/blast/blast.cc.o.d"
+  "/root/repo/src/apps/clustalw/clustalw.cc" "src/CMakeFiles/bioperf.dir/apps/clustalw/clustalw.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/clustalw/clustalw.cc.o.d"
+  "/root/repo/src/apps/emboss/megamerger.cc" "src/CMakeFiles/bioperf.dir/apps/emboss/megamerger.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/emboss/megamerger.cc.o.d"
+  "/root/repo/src/apps/fasta/fasta.cc" "src/CMakeFiles/bioperf.dir/apps/fasta/fasta.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/fasta/fasta.cc.o.d"
+  "/root/repo/src/apps/hmmer/hmmcalibrate.cc" "src/CMakeFiles/bioperf.dir/apps/hmmer/hmmcalibrate.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/hmmer/hmmcalibrate.cc.o.d"
+  "/root/repo/src/apps/hmmer/hmmpfam.cc" "src/CMakeFiles/bioperf.dir/apps/hmmer/hmmpfam.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/hmmer/hmmpfam.cc.o.d"
+  "/root/repo/src/apps/hmmer/hmmsearch.cc" "src/CMakeFiles/bioperf.dir/apps/hmmer/hmmsearch.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/hmmer/hmmsearch.cc.o.d"
+  "/root/repo/src/apps/hmmer/p7viterbi.cc" "src/CMakeFiles/bioperf.dir/apps/hmmer/p7viterbi.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/hmmer/p7viterbi.cc.o.d"
+  "/root/repo/src/apps/phylip/dnapenny.cc" "src/CMakeFiles/bioperf.dir/apps/phylip/dnapenny.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/phylip/dnapenny.cc.o.d"
+  "/root/repo/src/apps/phylip/promlk.cc" "src/CMakeFiles/bioperf.dir/apps/phylip/promlk.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/phylip/promlk.cc.o.d"
+  "/root/repo/src/apps/predator/predator.cc" "src/CMakeFiles/bioperf.dir/apps/predator/predator.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/predator/predator.cc.o.d"
+  "/root/repo/src/apps/spec/spec_like.cc" "src/CMakeFiles/bioperf.dir/apps/spec/spec_like.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/apps/spec/spec_like.cc.o.d"
+  "/root/repo/src/branch/predictors.cc" "src/CMakeFiles/bioperf.dir/branch/predictors.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/branch/predictors.cc.o.d"
+  "/root/repo/src/core/candidate_finder.cc" "src/CMakeFiles/bioperf.dir/core/candidate_finder.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/core/candidate_finder.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/CMakeFiles/bioperf.dir/core/simulator.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/core/simulator.cc.o.d"
+  "/root/repo/src/core/transform_pipeline.cc" "src/CMakeFiles/bioperf.dir/core/transform_pipeline.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/core/transform_pipeline.cc.o.d"
+  "/root/repo/src/cpu/inorder_core.cc" "src/CMakeFiles/bioperf.dir/cpu/inorder_core.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/cpu/inorder_core.cc.o.d"
+  "/root/repo/src/cpu/load_accel.cc" "src/CMakeFiles/bioperf.dir/cpu/load_accel.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/cpu/load_accel.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/bioperf.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/cpu/ooo_core.cc.o.d"
+  "/root/repo/src/cpu/platforms.cc" "src/CMakeFiles/bioperf.dir/cpu/platforms.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/cpu/platforms.cc.o.d"
+  "/root/repo/src/ir/analysis.cc" "src/CMakeFiles/bioperf.dir/ir/analysis.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/ir/analysis.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/bioperf.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/CMakeFiles/bioperf.dir/ir/ir.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/ir/ir.cc.o.d"
+  "/root/repo/src/ir/loops.cc" "src/CMakeFiles/bioperf.dir/ir/loops.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/ir/loops.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/bioperf.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/CMakeFiles/bioperf.dir/ir/verify.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/ir/verify.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/bioperf.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/bioperf.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/CMakeFiles/bioperf.dir/opt/dce.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/opt/dce.cc.o.d"
+  "/root/repo/src/opt/if_conversion.cc" "src/CMakeFiles/bioperf.dir/opt/if_conversion.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/opt/if_conversion.cc.o.d"
+  "/root/repo/src/opt/list_schedule.cc" "src/CMakeFiles/bioperf.dir/opt/list_schedule.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/opt/list_schedule.cc.o.d"
+  "/root/repo/src/opt/load_hoist.cc" "src/CMakeFiles/bioperf.dir/opt/load_hoist.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/opt/load_hoist.cc.o.d"
+  "/root/repo/src/opt/pass.cc" "src/CMakeFiles/bioperf.dir/opt/pass.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/opt/pass.cc.o.d"
+  "/root/repo/src/opt/prefetch.cc" "src/CMakeFiles/bioperf.dir/opt/prefetch.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/opt/prefetch.cc.o.d"
+  "/root/repo/src/profile/cache_profiler.cc" "src/CMakeFiles/bioperf.dir/profile/cache_profiler.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/profile/cache_profiler.cc.o.d"
+  "/root/repo/src/profile/instruction_mix.cc" "src/CMakeFiles/bioperf.dir/profile/instruction_mix.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/profile/instruction_mix.cc.o.d"
+  "/root/repo/src/profile/load_branch.cc" "src/CMakeFiles/bioperf.dir/profile/load_branch.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/profile/load_branch.cc.o.d"
+  "/root/repo/src/profile/load_coverage.cc" "src/CMakeFiles/bioperf.dir/profile/load_coverage.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/profile/load_coverage.cc.o.d"
+  "/root/repo/src/profile/per_load.cc" "src/CMakeFiles/bioperf.dir/profile/per_load.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/profile/per_load.cc.o.d"
+  "/root/repo/src/regalloc/linear_scan.cc" "src/CMakeFiles/bioperf.dir/regalloc/linear_scan.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/regalloc/linear_scan.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/bioperf.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/bioperf.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/bioperf.dir/util/table.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/util/table.cc.o.d"
+  "/root/repo/src/vm/interpreter.cc" "src/CMakeFiles/bioperf.dir/vm/interpreter.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/vm/interpreter.cc.o.d"
+  "/root/repo/src/vm/memory.cc" "src/CMakeFiles/bioperf.dir/vm/memory.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/vm/memory.cc.o.d"
+  "/root/repo/src/workload/blosum.cc" "src/CMakeFiles/bioperf.dir/workload/blosum.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/workload/blosum.cc.o.d"
+  "/root/repo/src/workload/hmm_gen.cc" "src/CMakeFiles/bioperf.dir/workload/hmm_gen.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/workload/hmm_gen.cc.o.d"
+  "/root/repo/src/workload/parsimony_gen.cc" "src/CMakeFiles/bioperf.dir/workload/parsimony_gen.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/workload/parsimony_gen.cc.o.d"
+  "/root/repo/src/workload/sequences.cc" "src/CMakeFiles/bioperf.dir/workload/sequences.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/workload/sequences.cc.o.d"
+  "/root/repo/src/workload/spec_gen.cc" "src/CMakeFiles/bioperf.dir/workload/spec_gen.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/workload/spec_gen.cc.o.d"
+  "/root/repo/src/workload/tree_gen.cc" "src/CMakeFiles/bioperf.dir/workload/tree_gen.cc.o" "gcc" "src/CMakeFiles/bioperf.dir/workload/tree_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

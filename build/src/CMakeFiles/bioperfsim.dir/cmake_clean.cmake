@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioperfsim.dir/tools/bioperfsim.cc.o"
+  "CMakeFiles/bioperfsim.dir/tools/bioperfsim.cc.o.d"
+  "bioperfsim"
+  "bioperfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioperfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
