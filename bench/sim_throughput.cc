@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how many simulated instructions per
+ * wall-clock second the trace pipeline sustains, in the two modes
+ * every experiment in the repository uses:
+ *
+ *  - characterize: the four ATOM-style profilers of
+ *    Simulator::characterize() attached (instruction mix, load
+ *    coverage, cache, load/branch sequences);
+ *  - timing: the Alpha 21264 out-of-order core model attached.
+ *
+ * Each mode runs twice: once with per-instruction sink delivery (one
+ * virtual onInstr call per sink per instruction — the pre-batching
+ * pipeline) and once with batched delivery (an L1-sized DynInstr
+ * buffer flushed with one onBatch call per sink). Simulation results
+ * are bit-identical between the two; only wall-clock changes. The
+ * batched/per-instruction ratio is the headline number.
+ *
+ * Writes BENCH_sim_throughput.json into the current directory.
+ *
+ *   ./bench/sim_throughput [small] [reps]
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "cpu/ooo_core.h"
+#include "cpu/platforms.h"
+#include "profile/cache_profiler.h"
+#include "profile/instruction_mix.h"
+#include "profile/load_branch.h"
+#include "profile/load_coverage.h"
+#include "util/table.h"
+#include "vm/interpreter.h"
+
+using namespace bioperf;
+
+namespace {
+
+struct Measurement
+{
+    std::string mode;     ///< "characterize" or "timing"
+    std::string delivery; ///< "per-instr" or "batched"
+    uint64_t instructions = 0;
+    double seconds = 0.0;
+
+    double mips() const
+    {
+        return seconds == 0.0
+            ? 0.0
+            : static_cast<double>(instructions) / seconds / 1e6;
+    }
+};
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Runs every app in @a list with the given sinks attached. Each app
+ * runs @a reps times and the fastest wall time counts, which filters
+ * scheduling noise out of the MIPS figures.
+ */
+Measurement
+measure(const std::vector<apps::AppInfo> &list, apps::Scale scale,
+        const std::string &mode, vm::Interpreter::TraceMode delivery,
+        int reps)
+{
+    Measurement m;
+    m.mode = mode;
+    m.delivery = delivery == vm::Interpreter::TraceMode::Batched
+        ? "batched" : "per-instr";
+    for (const auto &app : list) {
+        double best = 0.0;
+        uint64_t instrs = 0;
+        for (int rep = 0; rep < reps; rep++) {
+            apps::AppRun run =
+                app.make(apps::Variant::Baseline, scale, 42);
+            vm::Interpreter interp(*run.prog);
+            interp.setTraceMode(delivery);
+
+            double dt = 0.0;
+            if (mode == "characterize") {
+                profile::InstructionMixProfiler mix;
+                profile::LoadCoverageProfiler coverage;
+                profile::CacheProfiler cache;
+                profile::LoadBranchProfiler load_branch;
+                interp.addSink(&mix);
+                interp.addSink(&coverage);
+                interp.addSink(&cache);
+                interp.addSink(&load_branch);
+                const double t0 = now();
+                run.driver(interp);
+                dt = now() - t0;
+            } else {
+                const cpu::PlatformConfig platform = cpu::alpha21264();
+                mem::CacheHierarchy caches = platform.makeHierarchy();
+                auto predictor = platform.makePredictor();
+                cpu::OooCore core(platform.core, &caches,
+                                  predictor.get());
+                interp.addSink(&core);
+                const double t0 = now();
+                run.driver(interp);
+                dt = now() - t0;
+            }
+            if (rep == 0 || dt < best)
+                best = dt;
+            instrs = interp.totalInstrs();
+        }
+        m.seconds += best;
+        m.instructions += instrs;
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const apps::Scale scale =
+        (argc > 1 && std::string(argv[1]) == "small")
+            ? apps::Scale::Small : apps::Scale::Medium;
+    const int reps =
+        argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
+
+    // A representative slice of the suite: the headline integer
+    // kernel, an alignment code, and an FP-heavy phylogeny code.
+    std::vector<apps::AppInfo> list;
+    for (const char *name : { "hmmsearch", "clustalw", "promlk" })
+        list.push_back(*apps::findApp(name));
+
+    std::vector<Measurement> ms;
+    for (const char *mode : { "characterize", "timing" }) {
+        ms.push_back(measure(list, scale, mode,
+                             vm::Interpreter::TraceMode::PerInstr,
+                             reps));
+        ms.push_back(measure(list, scale, mode,
+                             vm::Interpreter::TraceMode::Batched,
+                             reps));
+    }
+
+    util::TextTable t({ "mode", "delivery", "instructions",
+                        "wall s", "MIPS" });
+    for (const auto &m : ms) {
+        t.row()
+            .cell(m.mode)
+            .cell(m.delivery)
+            .cell(m.instructions)
+            .cell(m.seconds, 3)
+            .cell(m.mips(), 1);
+    }
+    std::printf("=== simulator throughput (simulated MIPS) ===\n\n%s\n",
+                t.str().c_str());
+
+    const double char_speedup =
+        ms[0].seconds == 0.0 ? 0.0 : ms[0].seconds / ms[1].seconds;
+    const double timing_speedup =
+        ms[2].seconds == 0.0 ? 0.0 : ms[2].seconds / ms[3].seconds;
+    std::printf("batched over per-instruction: characterize %.2fx, "
+                "timing %.2fx\n", char_speedup, timing_speedup);
+
+    FILE *f = std::fopen("BENCH_sim_throughput.json", "w");
+    if (!f) {
+        std::printf("cannot write BENCH_sim_throughput.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"scale\": \"%s\",\n  \"runs\": [\n",
+                 scale == apps::Scale::Small ? "small" : "medium");
+    for (size_t i = 0; i < ms.size(); i++) {
+        const auto &m = ms[i];
+        std::fprintf(f,
+                     "    {\"mode\": \"%s\", \"delivery\": \"%s\", "
+                     "\"instructions\": %llu, \"seconds\": %.6f, "
+                     "\"mips\": %.3f}%s\n",
+                     m.mode.c_str(), m.delivery.c_str(),
+                     static_cast<unsigned long long>(m.instructions),
+                     m.seconds, m.mips(), i + 1 < ms.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"characterize_speedup\": %.3f,\n"
+                 "  \"timing_speedup\": %.3f\n}\n",
+                 char_speedup, timing_speedup);
+    std::fclose(f);
+    std::printf("wrote BENCH_sim_throughput.json\n");
+    return 0;
+}

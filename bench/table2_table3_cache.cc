@@ -48,10 +48,25 @@ main()
     util::TextTable t2({ "program", "L1 local", "L2 local", "overall",
                          "AMAT" });
     std::vector<double> l1s, l2s, alls, amats;
-    for (const auto &app : apps::bioperfApps()) {
-        apps::AppRun run =
-            app.make(apps::Variant::Baseline, apps::Scale::Medium, 42);
-        const auto res = core::Simulator::characterize(run);
+
+    // The nine characterization runs are independent; fan them out
+    // over the worker pool (BIOPERF_THREADS controls the width) and
+    // print in the paper's table order.
+    const auto &apps_list = apps::bioperfApps();
+    std::vector<core::CharacterizeJob> jobs;
+    for (const auto &app : apps_list) {
+        core::CharacterizeJob job;
+        job.app = &app;
+        job.variant = apps::Variant::Baseline;
+        job.scale = apps::Scale::Medium;
+        job.seed = 42;
+        jobs.push_back(job);
+    }
+    const auto results = core::Simulator::characterizeSweep(jobs);
+
+    for (size_t i = 0; i < apps_list.size(); i++) {
+        const auto &app = apps_list[i];
+        const auto &res = results[i];
         if (!res.verified) {
             std::printf("VERIFICATION FAILED for %s\n",
                         app.name.c_str());

@@ -10,6 +10,10 @@
  * match (synthetic inputs are far smaller than class-C), but the
  * who-wins/by-how-much shape is the reproduction target. Note the
  * paper could not compile dnapenny on Itanium (n.a. there).
+ *
+ * The (app x platform x variant) timing jobs are independent, so
+ * they run concurrently through core::Simulator::sweep(); set
+ * BIOPERF_THREADS to control the worker count.
  */
 #include <cstdio>
 #include <map>
@@ -33,6 +37,28 @@ main(int argc, char **argv)
         scale = apps::Scale::Small;
 
     const auto platforms = cpu::evaluationPlatforms();
+    const auto apps_list = apps::transformableApps();
+
+    // One job per (app, platform, variant); results come back in job
+    // order, so index arithmetic recovers the pairing below.
+    std::vector<core::SweepJob> jobs;
+    for (const auto &app : apps_list) {
+        for (const auto &platform : platforms) {
+            for (apps::Variant v : { apps::Variant::Baseline,
+                                     apps::Variant::Transformed }) {
+                core::SweepJob job;
+                job.app = &app;
+                job.platform = platform;
+                job.variant = v;
+                job.scale = scale;
+                job.seed = 42;
+                job.registerPressure = true;
+                jobs.push_back(job);
+            }
+        }
+    }
+    const auto results = core::Simulator::sweep(jobs);
+
     std::vector<std::string> time_headers = { "program", "version" };
     for (const auto &p : platforms)
         time_headers.push_back(p.name);
@@ -44,17 +70,21 @@ main(int argc, char **argv)
     util::TextTable fig9(sp_headers);
 
     std::map<std::string, std::vector<double>> speedups;
-    for (const auto &app : apps::transformableApps()) {
+    size_t j = 0;
+    for (const auto &app : apps_list) {
         std::vector<double> base_s, xform_s, sp;
         for (const auto &platform : platforms) {
-            core::TimingResult tb, tx;
-            const double s = core::Simulator::speedup(
-                app, platform, scale, 42, &tb, &tx);
+            const core::TimingResult &tb = results[j++];
+            const core::TimingResult &tx = results[j++];
             if (!tb.verified || !tx.verified) {
                 std::printf("VERIFICATION FAILED for %s on %s\n",
                             app.name.c_str(), platform.name.c_str());
                 return 1;
             }
+            const double s = tx.cycles == 0
+                ? 0.0
+                : static_cast<double>(tb.cycles) /
+                      static_cast<double>(tx.cycles);
             base_s.push_back(tb.seconds);
             xform_s.push_back(tx.seconds);
             sp.push_back(s);

@@ -9,6 +9,7 @@
  */
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "apps/app.h"
 #include "core/simulator.h"
@@ -16,6 +17,19 @@
 #include "util/table.h"
 
 using namespace bioperf;
+
+namespace {
+
+struct Config
+{
+    const char *label;
+    uint32_t l1;
+    uint32_t window;
+    uint32_t penalty;
+    bool ooo;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -30,33 +44,56 @@ main(int argc, char **argv)
     std::printf("=== design-space sweep for %s ===\n\n",
                 name.c_str());
 
-    util::TextTable t({ "configuration", "L1 lat", "window",
-                        "mispredict penalty", "speedup" });
-    auto add = [&](const char *label, uint32_t l1, uint32_t window,
-                   uint32_t penalty, bool ooo) {
-        cpu::PlatformConfig p = cpu::alpha21264();
-        p.latencies.l1HitLatency = l1;
-        p.core.windowSize = window;
-        p.core.mispredictPenalty = penalty;
-        p.core.outOfOrder = ooo;
-        const double sp = core::Simulator::speedup(
-            *app, p, apps::Scale::Small, 3);
-        t.row()
-            .cell(label)
-            .cell(static_cast<uint64_t>(l1))
-            .cell(static_cast<uint64_t>(window))
-            .cell(static_cast<uint64_t>(penalty))
-            .cellPercent(100.0 * (sp - 1.0), 1);
+    const std::vector<Config> configs = {
+        { "single-cycle L1", 1, 80, 9, true },
+        { "Alpha-like (reference)", 3, 80, 9, true },
+        { "slow L1", 5, 80, 9, true },
+        { "tiny window", 3, 8, 9, true },
+        { "huge window", 3, 512, 9, true },
+        { "cheap mispredicts", 3, 80, 2, true },
+        { "deep pipeline", 3, 80, 25, true },
+        { "in-order", 3, 1, 9, false },
     };
 
-    add("single-cycle L1", 1, 80, 9, true);
-    add("Alpha-like (reference)", 3, 80, 9, true);
-    add("slow L1", 5, 80, 9, true);
-    add("tiny window", 3, 8, 9, true);
-    add("huge window", 3, 512, 9, true);
-    add("cheap mispredicts", 3, 80, 2, true);
-    add("deep pipeline", 3, 80, 25, true);
-    add("in-order", 3, 1, 9, false);
+    // All design points are independent, so both variants of every
+    // configuration run concurrently through Simulator::sweep().
+    std::vector<core::SweepJob> jobs;
+    for (const Config &c : configs) {
+        cpu::PlatformConfig p = cpu::alpha21264();
+        p.latencies.l1HitLatency = c.l1;
+        p.core.windowSize = c.window;
+        p.core.mispredictPenalty = c.penalty;
+        p.core.outOfOrder = c.ooo;
+        for (apps::Variant v : { apps::Variant::Baseline,
+                                 apps::Variant::Transformed }) {
+            core::SweepJob job;
+            job.app = app;
+            job.platform = p;
+            job.variant = v;
+            job.scale = apps::Scale::Small;
+            job.seed = 3;
+            jobs.push_back(job);
+        }
+    }
+    const auto results = core::Simulator::sweep(jobs);
+
+    util::TextTable t({ "configuration", "L1 lat", "window",
+                        "mispredict penalty", "speedup" });
+    for (size_t i = 0; i < configs.size(); i++) {
+        const Config &c = configs[i];
+        const core::TimingResult &tb = results[2 * i];
+        const core::TimingResult &tx = results[2 * i + 1];
+        const double sp = tx.cycles == 0
+            ? 0.0
+            : static_cast<double>(tb.cycles) /
+                  static_cast<double>(tx.cycles);
+        t.row()
+            .cell(c.label)
+            .cell(static_cast<uint64_t>(c.l1))
+            .cell(static_cast<uint64_t>(c.window))
+            .cell(static_cast<uint64_t>(c.penalty))
+            .cellPercent(100.0 * (sp - 1.0), 1);
+    }
 
     std::printf("%s\n", t.str().c_str());
     std::printf("reading guide: the benefit scales with L1 hit "

@@ -2,24 +2,8 @@
 
 namespace bioperf::branch {
 
-namespace {
-
-/** Saturating 2-bit counter helpers: >=2 means predict taken. */
-bool
-counterTaken(uint8_t c)
-{
-    return c >= 2;
-}
-
-uint8_t
-counterTrain(uint8_t c, bool taken)
-{
-    if (taken)
-        return c < 3 ? c + 1 : 3;
-    return c > 0 ? c - 1 : 0;
-}
-
-} // namespace
+using detail::counterTaken;
+using detail::counterTrain;
 
 bool
 BranchPredictor::predictAndTrain(uint32_t sid, bool taken)
@@ -32,39 +16,10 @@ BranchPredictor::predictAndTrain(uint32_t sid, bool taken)
 }
 
 void
-BranchPredictor::noteOutcome(uint32_t sid, bool correct)
+BranchPredictor::growStats(uint32_t sid)
 {
-    if (sid >= exec_.size()) {
-        exec_.resize(sid + 1, 0);
-        miss_.resize(sid + 1, 0);
-    }
-    exec_[sid]++;
-    total_exec_++;
-    if (!correct) {
-        miss_[sid]++;
-        total_miss_++;
-    }
-}
-
-uint64_t
-BranchPredictor::executions(uint32_t sid) const
-{
-    return sid < exec_.size() ? exec_[sid] : 0;
-}
-
-uint64_t
-BranchPredictor::mispredictions(uint32_t sid) const
-{
-    return sid < miss_.size() ? miss_[sid] : 0;
-}
-
-double
-BranchPredictor::missRate(uint32_t sid) const
-{
-    const uint64_t e = executions(sid);
-    return e == 0 ? 0.0
-                  : static_cast<double>(mispredictions(sid)) /
-                        static_cast<double>(e);
+    exec_.resize(sid + 1, 0);
+    miss_.resize(sid + 1, 0);
 }
 
 double
@@ -105,30 +60,6 @@ GsharePredictor::GsharePredictor(uint32_t history_bits)
 {
 }
 
-uint32_t
-GsharePredictor::index(uint32_t sid) const
-{
-    const uint32_t mask = (1u << history_bits_) - 1;
-    // Multiply by a large odd constant to spread consecutive static
-    // ids across the table before XORing with the history.
-    return ((sid * 2654435761u) ^ history_) & mask;
-}
-
-bool
-GsharePredictor::predict(uint32_t sid)
-{
-    return counterTaken(table_[index(sid)]);
-}
-
-void
-GsharePredictor::train(uint32_t sid, bool taken)
-{
-    uint8_t &c = table_[index(sid)];
-    c = counterTrain(c, taken);
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
-               ((1u << history_bits_) - 1);
-}
-
 // --------------------------------------------------------------------------
 // Local
 // --------------------------------------------------------------------------
@@ -139,31 +70,10 @@ LocalPredictor::LocalPredictor(uint32_t history_bits)
 }
 
 void
-LocalPredictor::ensure(uint32_t sid)
+LocalPredictor::grow(uint32_t sid)
 {
-    if (sid >= histories_.size()) {
-        histories_.resize(sid + 1, 0);
-        patterns_.resize(sid + 1);
-    }
-    if (patterns_[sid].empty())
-        patterns_[sid].assign(size_t(1) << history_bits_, 2);
-}
-
-bool
-LocalPredictor::predict(uint32_t sid)
-{
-    ensure(sid);
-    return counterTaken(patterns_[sid][histories_[sid]]);
-}
-
-void
-LocalPredictor::train(uint32_t sid, bool taken)
-{
-    ensure(sid);
-    uint8_t &c = patterns_[sid][histories_[sid]];
-    c = counterTrain(c, taken);
-    histories_[sid] = ((histories_[sid] << 1) | (taken ? 1 : 0)) &
-                      ((1u << history_bits_) - 1);
+    histories_.resize(sid + 1, 0);
+    patterns_.resize(size_t(sid + 1) << history_bits_, 2);
 }
 
 // --------------------------------------------------------------------------
@@ -176,13 +86,19 @@ HybridPredictor::HybridPredictor(uint32_t local_history_bits,
 {
 }
 
+void
+HybridPredictor::growChooser(uint32_t sid)
+{
+    chooser_.resize(sid + 1, 2);
+}
+
 bool
 HybridPredictor::predict(uint32_t sid)
 {
     if (sid >= chooser_.size())
         chooser_.resize(sid + 1, 2);
-    last_local_pred_ = local_.rawPredict(sid);
-    last_gshare_pred_ = gshare_.rawPredict(sid);
+    last_local_pred_ = local_.predictFast(sid);
+    last_gshare_pred_ = gshare_.predictFast(sid);
     return counterTaken(chooser_[sid]) ? last_local_pred_
                                        : last_gshare_pred_;
 }
@@ -196,8 +112,8 @@ HybridPredictor::train(uint32_t sid, bool taken)
         uint8_t &c = chooser_[sid];
         c = counterTrain(c, local_ok);
     }
-    local_.rawTrain(sid, taken);
-    gshare_.rawTrain(sid, taken);
+    local_.trainFast(sid, taken);
+    gshare_.trainFast(sid, taken);
 }
 
 // --------------------------------------------------------------------------

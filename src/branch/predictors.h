@@ -8,6 +8,25 @@
 
 namespace bioperf::branch {
 
+namespace detail {
+
+/** Saturating 2-bit counter helpers: >=2 means predict taken. */
+constexpr bool
+counterTaken(uint8_t c)
+{
+    return c >= 2;
+}
+
+constexpr uint8_t
+counterTrain(uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace detail
+
 /**
  * Abstract conditional branch predictor keyed by static branch id.
  *
@@ -30,11 +49,23 @@ class BranchPredictor
     virtual bool predictAndTrain(uint32_t sid, bool taken);
 
     /** Dynamic executions observed for branch @a sid. */
-    uint64_t executions(uint32_t sid) const;
+    uint64_t executions(uint32_t sid) const
+    {
+        return sid < exec_.size() ? exec_[sid] : 0;
+    }
     /** Mispredictions observed for branch @a sid. */
-    uint64_t mispredictions(uint32_t sid) const;
+    uint64_t mispredictions(uint32_t sid) const
+    {
+        return sid < miss_.size() ? miss_[sid] : 0;
+    }
     /** Per-branch misprediction rate in [0, 1]. */
-    double missRate(uint32_t sid) const;
+    double missRate(uint32_t sid) const
+    {
+        const uint64_t e = executions(sid);
+        return e == 0 ? 0.0
+                      : static_cast<double>(mispredictions(sid)) /
+                            static_cast<double>(e);
+    }
 
     uint64_t totalExecutions() const { return total_exec_; }
     uint64_t totalMispredictions() const { return total_miss_; }
@@ -52,9 +83,23 @@ class BranchPredictor
     virtual bool predict(uint32_t sid) = 0;
     virtual void train(uint32_t sid, bool taken) = 0;
 
-    void noteOutcome(uint32_t sid, bool correct);
+    /** Inline fast path; table growth stays out of line. */
+    void
+    noteOutcome(uint32_t sid, bool correct)
+    {
+        if (sid >= exec_.size()) [[unlikely]]
+            growStats(sid);
+        exec_[sid]++;
+        total_exec_++;
+        if (!correct) {
+            miss_[sid]++;
+            total_miss_++;
+        }
+    }
 
   private:
+    void growStats(uint32_t sid);
+
     std::vector<uint64_t> exec_;
     std::vector<uint64_t> miss_;
     uint64_t total_exec_ = 0;
@@ -118,18 +163,48 @@ class BimodalPredictor : public BranchPredictor
  * Gshare: global history XOR branch id indexes a shared table of
  * 2-bit counters.
  */
-class GsharePredictor : public BranchPredictor
+class GsharePredictor final : public BranchPredictor
 {
   public:
     explicit GsharePredictor(uint32_t history_bits = 12);
     const char *name() const override { return "gshare"; }
 
+    /**
+     * Non-virtual inline prediction/training core, so composing
+     * predictors (the hybrid) reach the tables without virtual
+     * dispatch and per-branch callers fold the table arithmetic into
+     * their own loop. Same behaviour as predict()/train().
+     */
+    bool
+    predictFast(uint32_t sid)
+    {
+        return detail::counterTaken(table_[index(sid)]);
+    }
+    void
+    trainFast(uint32_t sid, bool taken)
+    {
+        uint8_t &c = table_[index(sid)];
+        c = detail::counterTrain(c, taken);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                   ((1u << history_bits_) - 1);
+    }
+
   protected:
-    bool predict(uint32_t sid) override;
-    void train(uint32_t sid, bool taken) override;
+    bool predict(uint32_t sid) override { return predictFast(sid); }
+    void train(uint32_t sid, bool taken) override
+    {
+        trainFast(sid, taken);
+    }
 
   private:
-    uint32_t index(uint32_t sid) const;
+    uint32_t
+    index(uint32_t sid) const
+    {
+        const uint32_t mask = (1u << history_bits_) - 1;
+        // Multiply by a large odd constant to spread consecutive
+        // static ids across the table before XORing with the history.
+        return ((sid * 2654435761u) ^ history_) & mask;
+    }
 
     uint32_t history_bits_;
     uint32_t history_ = 0;
@@ -140,22 +215,57 @@ class GsharePredictor : public BranchPredictor
  * Two-level local predictor with a private history register and a
  * private pattern table per static branch (no aliasing).
  */
-class LocalPredictor : public BranchPredictor
+class LocalPredictor final : public BranchPredictor
 {
   public:
     explicit LocalPredictor(uint32_t history_bits = 10);
     const char *name() const override { return "local"; }
 
+    /** Non-virtual inline core; see GsharePredictor::predictFast(). */
+    bool
+    predictFast(uint32_t sid)
+    {
+        ensure(sid);
+        return detail::counterTaken(
+            patterns_[(size_t(sid) << history_bits_) +
+                      histories_[sid]]);
+    }
+    void
+    trainFast(uint32_t sid, bool taken)
+    {
+        ensure(sid);
+        uint8_t &c =
+            patterns_[(size_t(sid) << history_bits_) + histories_[sid]];
+        c = detail::counterTrain(c, taken);
+        histories_[sid] = ((histories_[sid] << 1) | (taken ? 1 : 0)) &
+                          ((1u << history_bits_) - 1);
+    }
+
   protected:
-    bool predict(uint32_t sid) override;
-    void train(uint32_t sid, bool taken) override;
+    bool predict(uint32_t sid) override { return predictFast(sid); }
+    void train(uint32_t sid, bool taken) override
+    {
+        trainFast(sid, taken);
+    }
 
   private:
-    void ensure(uint32_t sid);
+    void
+    ensure(uint32_t sid)
+    {
+        if (sid >= histories_.size()) [[unlikely]]
+            grow(sid);
+    }
+    void grow(uint32_t sid);
 
     uint32_t history_bits_;
     std::vector<uint32_t> histories_;
-    std::vector<std::vector<uint8_t>> patterns_;
+    /**
+     * Per-branch pattern tables stored contiguously (branch @a sid's
+     * table spans [sid << history_bits_, (sid + 1) << history_bits_)),
+     * which keeps the per-prediction lookup to one indexed load
+     * instead of chasing a per-branch allocation.
+     */
+    std::vector<uint8_t> patterns_;
 };
 
 /**
@@ -163,18 +273,50 @@ class LocalPredictor : public BranchPredictor
  * chooser per static branch. This is the configuration the paper uses
  * for its Table 4 misprediction rates.
  */
-class HybridPredictor : public BranchPredictor
+class HybridPredictor final : public BranchPredictor
 {
   public:
     HybridPredictor(uint32_t local_history_bits = 10,
                     uint32_t global_history_bits = 12);
     const char *name() const override { return "hybrid"; }
 
+    /**
+     * Flat inline override of the predict+train+record sequence: one
+     * chooser lookup and direct (non-virtual) component calls, with
+     * behaviour identical to the base-class implementation. This
+     * predictor runs once per dynamic conditional branch in every
+     * characterization, so the call layering matters.
+     */
+    bool
+    predictAndTrain(uint32_t sid, bool taken) override
+    {
+        if (sid >= chooser_.size()) [[unlikely]]
+            growChooser(sid);
+        last_local_pred_ = local_.predictFast(sid);
+        last_gshare_pred_ = gshare_.predictFast(sid);
+        const bool p = detail::counterTaken(chooser_[sid])
+                           ? last_local_pred_
+                           : last_gshare_pred_;
+        const bool local_ok = last_local_pred_ == taken;
+        const bool gshare_ok = last_gshare_pred_ == taken;
+        if (local_ok != gshare_ok) {
+            uint8_t &c = chooser_[sid];
+            c = detail::counterTrain(c, local_ok);
+        }
+        local_.trainFast(sid, taken);
+        gshare_.trainFast(sid, taken);
+        const bool correct = p == taken;
+        noteOutcome(sid, correct);
+        return correct;
+    }
+
   protected:
     bool predict(uint32_t sid) override;
     void train(uint32_t sid, bool taken) override;
 
   private:
+    void growChooser(uint32_t sid);
+
     LocalPredictor local_;
     GsharePredictor gshare_;
     std::vector<uint8_t> chooser_; ///< 2-bit; >=2 prefers local

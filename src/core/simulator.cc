@@ -1,8 +1,11 @@
 #include "core/simulator.h"
 
+#include <future>
+
 #include "cpu/inorder_core.h"
 #include "cpu/ooo_core.h"
 #include "regalloc/linear_scan.h"
+#include "util/thread_pool.h"
 #include "vm/interpreter.h"
 
 namespace bioperf::core {
@@ -71,6 +74,70 @@ Simulator::applyRegisterPressure(apps::AppRun &run,
     }
     run.prog->renumber();
     return spills;
+}
+
+namespace {
+
+TimingResult
+runSweepJob(const SweepJob &job)
+{
+    apps::AppRun run = job.app->make(job.variant, job.scale, job.seed);
+    if (job.registerPressure)
+        Simulator::applyRegisterPressure(run, job.platform);
+    return Simulator::time(run, job.platform);
+}
+
+CharacterizationResult
+runCharacterizeJob(const CharacterizeJob &job)
+{
+    apps::AppRun run = job.app->make(job.variant, job.scale, job.seed);
+    return Simulator::characterize(run);
+}
+
+/**
+ * Fan @a jobs out over a pool and collect results in job order; the
+ * app registry is touched once up front so the workers never race on
+ * its lazy initialization.
+ */
+template <typename Job, typename Result, typename RunFn>
+std::vector<Result>
+runAll(const std::vector<Job> &jobs, unsigned threads, RunFn run_fn)
+{
+    std::vector<Result> results(jobs.size());
+    if (threads == 0)
+        threads = util::ThreadPool::defaultThreads();
+    if (threads <= 1 || jobs.size() <= 1) {
+        for (size_t i = 0; i < jobs.size(); i++)
+            results[i] = run_fn(jobs[i]);
+        return results;
+    }
+    apps::bioperfApps();
+    util::ThreadPool pool(threads);
+    std::vector<std::future<Result>> futures;
+    futures.reserve(jobs.size());
+    for (const Job &job : jobs)
+        futures.push_back(pool.submit([&job, &run_fn] {
+            return run_fn(job);
+        }));
+    for (size_t i = 0; i < jobs.size(); i++)
+        results[i] = futures[i].get();
+    return results;
+}
+
+} // namespace
+
+std::vector<TimingResult>
+Simulator::sweep(const std::vector<SweepJob> &jobs, unsigned threads)
+{
+    return runAll<SweepJob, TimingResult>(jobs, threads, runSweepJob);
+}
+
+std::vector<CharacterizationResult>
+Simulator::characterizeSweep(const std::vector<CharacterizeJob> &jobs,
+                             unsigned threads)
+{
+    return runAll<CharacterizeJob, CharacterizationResult>(
+        jobs, threads, runCharacterizeJob);
 }
 
 double

@@ -2,6 +2,7 @@
 #define BIOPERF_CORE_SIMULATOR_H_
 
 #include <memory>
+#include <vector>
 
 #include "apps/app.h"
 #include "cpu/platforms.h"
@@ -40,6 +41,31 @@ struct TimingResult
 };
 
 /**
+ * One independent timing job of a sweep: build the application at
+ * (variant, scale, seed), optionally rewrite it for the platform's
+ * architectural register counts, and time it on the platform.
+ */
+struct SweepJob
+{
+    const apps::AppInfo *app = nullptr;
+    cpu::PlatformConfig platform;
+    apps::Variant variant = apps::Variant::Baseline;
+    apps::Scale scale = apps::Scale::Small;
+    uint64_t seed = 42;
+    /** Apply the register-pressure rewrite before timing. */
+    bool registerPressure = true;
+};
+
+/** One independent characterization job of a sweep. */
+struct CharacterizeJob
+{
+    const apps::AppInfo *app = nullptr;
+    apps::Variant variant = apps::Variant::Baseline;
+    apps::Scale scale = apps::Scale::Medium;
+    uint64_t seed = 42;
+};
+
+/**
  * One-stop driver tying applications to the analysis stack. All
  * methods run the application's full workload through the interpreter
  * with the requested sinks attached and check the outputs against the
@@ -75,6 +101,23 @@ class Simulator
                           apps::Scale scale, uint64_t seed,
                           TimingResult *baseline_out = nullptr,
                           TimingResult *transformed_out = nullptr);
+
+    /**
+     * Runs independent timing jobs concurrently on a util::ThreadPool
+     * and returns results in job order. Each job builds and owns its
+     * entire simulation stack (program, interpreter, caches,
+     * predictor), so results are bit-identical for any thread count.
+     *
+     * @param threads 0 = ThreadPool::defaultThreads() (honours the
+     *        BIOPERF_THREADS environment variable); 1 = run inline on
+     *        the calling thread.
+     */
+    static std::vector<TimingResult> sweep(
+        const std::vector<SweepJob> &jobs, unsigned threads = 0);
+
+    /** Parallel counterpart of characterize() over many jobs. */
+    static std::vector<CharacterizationResult> characterizeSweep(
+        const std::vector<CharacterizeJob> &jobs, unsigned threads = 0);
 };
 
 } // namespace bioperf::core

@@ -23,6 +23,19 @@ InorderCore::regReady(ir::RegClass cls, uint32_t reg)
 void
 InorderCore::onInstr(const vm::DynInstr &di)
 {
+    step(di);
+}
+
+void
+InorderCore::onBatch(const vm::DynInstr *batch, size_t n)
+{
+    for (size_t i = 0; i < n; i++)
+        step(batch[i]);
+}
+
+void
+InorderCore::step(const vm::DynInstr &di)
+{
     const ir::Instr &in = *di.instr;
 
     uint64_t ready = issue_cycle_;

@@ -29,6 +29,7 @@ class InorderCore : public vm::TraceSink
                 branch::BranchPredictor *predictor);
 
     void onInstr(const vm::DynInstr &di) override;
+    void onBatch(const vm::DynInstr *batch, size_t n) override;
     void onRunEnd() override;
 
     uint64_t cycles() const { return last_complete_; }
@@ -43,6 +44,7 @@ class InorderCore : public vm::TraceSink
     void setLoadAccelerator(LoadAccelerator *accel) { accel_ = accel; }
 
   private:
+    void step(const vm::DynInstr &di);
     uint64_t &regReady(ir::RegClass cls, uint32_t reg);
 
     CoreConfig config_;

@@ -62,6 +62,19 @@ OooCore::allocRetireSlot(uint64_t earliest)
 void
 OooCore::onInstr(const vm::DynInstr &di)
 {
+    step(di);
+}
+
+void
+OooCore::onBatch(const vm::DynInstr *batch, size_t n)
+{
+    for (size_t i = 0; i < n; i++)
+        step(batch[i]);
+}
+
+void
+OooCore::step(const vm::DynInstr &di)
+{
     const ir::Instr &in = *di.instr;
     PipelineTimes t;
 

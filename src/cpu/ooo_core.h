@@ -63,6 +63,7 @@ class OooCore : public vm::TraceSink
             branch::BranchPredictor *predictor);
 
     void onInstr(const vm::DynInstr &di) override;
+    void onBatch(const vm::DynInstr *batch, size_t n) override;
     void onRunEnd() override;
 
     /** Cycle at which the last instruction retired. */
@@ -86,6 +87,7 @@ class OooCore : public vm::TraceSink
     void setLoadAccelerator(LoadAccelerator *accel) { accel_ = accel; }
 
   private:
+    void step(const vm::DynInstr &di);
     uint64_t allocIssueSlot(uint64_t earliest);
     uint64_t allocRetireSlot(uint64_t earliest);
     uint64_t &regReady(ir::RegClass cls, uint32_t reg);

@@ -4,144 +4,6 @@
 
 namespace bioperf::ir {
 
-InstrClass
-classOf(Opcode op)
-{
-    switch (op) {
-      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
-      case Opcode::Div: case Opcode::Rem:
-      case Opcode::And: case Opcode::Or: case Opcode::Xor:
-      case Opcode::Shl: case Opcode::Shr:
-      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
-      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
-      case Opcode::Select: case Opcode::MovImm: case Opcode::Mov:
-      case Opcode::CvtFI:
-        return InstrClass::IntAlu;
-      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
-      case Opcode::FDiv:
-      case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
-      case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
-      case Opcode::FSelect: case Opcode::FMovImm: case Opcode::FMov:
-      case Opcode::CvtIF:
-        return InstrClass::FpAlu;
-      case Opcode::Load:
-        return InstrClass::Load;
-      case Opcode::FLoad:
-        return InstrClass::FpLoad;
-      case Opcode::Store:
-        return InstrClass::Store;
-      case Opcode::FStore:
-        return InstrClass::FpStore;
-      case Opcode::Prefetch:
-        return InstrClass::Prefetch;
-      case Opcode::Br:
-        return InstrClass::CondBranch;
-      case Opcode::Jmp:
-        return InstrClass::Jump;
-      case Opcode::Halt:
-        return InstrClass::Halt;
-    }
-    assert(false && "unknown opcode");
-    return InstrClass::Halt;
-}
-
-bool
-isLoad(Opcode op)
-{
-    return op == Opcode::Load || op == Opcode::FLoad;
-}
-
-bool
-isStore(Opcode op)
-{
-    return op == Opcode::Store || op == Opcode::FStore;
-}
-
-bool
-hasMemOperand(Opcode op)
-{
-    return isLoad(op) || isStore(op) || op == Opcode::Prefetch;
-}
-
-bool
-isTerminator(Opcode op)
-{
-    return op == Opcode::Br || op == Opcode::Jmp || op == Opcode::Halt;
-}
-
-int
-numSrcs(const Instr &in)
-{
-    switch (in.op) {
-      case Opcode::MovImm: case Opcode::FMovImm:
-      case Opcode::Jmp: case Opcode::Halt:
-        return 0;
-      case Opcode::Load: case Opcode::FLoad: case Opcode::Prefetch:
-        return 0; // address regs live in mem; see gatherReads()
-      case Opcode::Store: case Opcode::FStore:
-        return 1; // the stored value
-      case Opcode::Mov: case Opcode::FMov:
-      case Opcode::CvtIF: case Opcode::CvtFI:
-      case Opcode::Br:
-        return 1;
-      case Opcode::Select: case Opcode::FSelect:
-        return 3;
-      default:
-        return in.hasImm ? 1 : 2;
-    }
-}
-
-RegClass
-srcClass(const Instr &in, int i)
-{
-    switch (in.op) {
-      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
-      case Opcode::FDiv:
-      case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
-      case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
-      case Opcode::FMov: case Opcode::CvtFI:
-      case Opcode::FStore:
-        return RegClass::Fp;
-      case Opcode::FSelect:
-        return i == 0 ? RegClass::Int : RegClass::Fp;
-      default:
-        return RegClass::Int;
-    }
-}
-
-RegClass
-dstClass(const Instr &in)
-{
-    switch (in.op) {
-      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
-      case Opcode::FDiv: case Opcode::FSelect: case Opcode::FMovImm:
-      case Opcode::FMov: case Opcode::CvtIF: case Opcode::FLoad:
-        return RegClass::Fp;
-      case Opcode::Store: case Opcode::FStore: case Opcode::Prefetch:
-      case Opcode::Br: case Opcode::Jmp: case Opcode::Halt:
-        return RegClass::None;
-      default:
-        return RegClass::Int;
-    }
-}
-
-void
-gatherReads(const Instr &in,
-            std::vector<std::pair<RegClass, uint32_t>> &out)
-{
-    const int n = numSrcs(in);
-    for (int i = 0; i < n; i++) {
-        if (in.src[i] != kNoReg)
-            out.emplace_back(srcClass(in, i), in.src[i]);
-    }
-    if (hasMemOperand(in.op)) {
-        if (in.mem.base != kNoReg)
-            out.emplace_back(RegClass::Int, in.mem.base);
-        if (in.mem.index != kNoReg)
-            out.emplace_back(RegClass::Int, in.mem.index);
-    }
-}
-
 const char *
 opcodeName(Opcode op)
 {

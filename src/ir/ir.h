@@ -124,31 +124,162 @@ struct Instr
     int32_t line = -1;
 };
 
-/** Returns the coarse class of an opcode. */
-InstrClass classOf(Opcode op);
+/**
+ * Returns the coarse class of an opcode.
+ *
+ * This and the operand-shape helpers below are pure functions of the
+ * static instruction and sit on every per-dynamic-instruction hot
+ * path (profilers, timing cores, the interpreter's flattener), so
+ * they are defined inline: each call site compiles down to a jump
+ * table instead of an out-of-line call.
+ */
+constexpr InstrClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Shl: case Opcode::Shr:
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      case Opcode::Select: case Opcode::MovImm: case Opcode::Mov:
+      case Opcode::CvtFI:
+        return InstrClass::IntAlu;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+      case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+      case Opcode::FSelect: case Opcode::FMovImm: case Opcode::FMov:
+      case Opcode::CvtIF:
+        return InstrClass::FpAlu;
+      case Opcode::Load:
+        return InstrClass::Load;
+      case Opcode::FLoad:
+        return InstrClass::FpLoad;
+      case Opcode::Store:
+        return InstrClass::Store;
+      case Opcode::FStore:
+        return InstrClass::FpStore;
+      case Opcode::Prefetch:
+        return InstrClass::Prefetch;
+      case Opcode::Br:
+        return InstrClass::CondBranch;
+      case Opcode::Jmp:
+        return InstrClass::Jump;
+      case Opcode::Halt:
+        return InstrClass::Halt;
+    }
+    return InstrClass::Halt; // unreachable for valid opcodes
+}
 
 /** True for Load/FLoad. */
-bool isLoad(Opcode op);
+constexpr bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::FLoad;
+}
+
 /** True for Store/FStore. */
-bool isStore(Opcode op);
+constexpr bool
+isStore(Opcode op)
+{
+    return op == Opcode::Store || op == Opcode::FStore;
+}
+
 /** True for any opcode with a memory operand. */
-bool hasMemOperand(Opcode op);
+constexpr bool
+hasMemOperand(Opcode op)
+{
+    return isLoad(op) || isStore(op) || op == Opcode::Prefetch;
+}
+
 /** True for Br/Jmp/Halt. */
-bool isTerminator(Opcode op);
+constexpr bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::Jmp || op == Opcode::Halt;
+}
 
 /** Number of register source operands actually used by @a in. */
-int numSrcs(const Instr &in);
+constexpr int
+numSrcs(const Instr &in)
+{
+    switch (in.op) {
+      case Opcode::MovImm: case Opcode::FMovImm:
+      case Opcode::Jmp: case Opcode::Halt:
+        return 0;
+      case Opcode::Load: case Opcode::FLoad: case Opcode::Prefetch:
+        return 0; // address regs live in mem; see gatherReads()
+      case Opcode::Store: case Opcode::FStore:
+        return 1; // the stored value
+      case Opcode::Mov: case Opcode::FMov:
+      case Opcode::CvtIF: case Opcode::CvtFI:
+      case Opcode::Br:
+        return 1;
+      case Opcode::Select: case Opcode::FSelect:
+        return 3;
+      default:
+        return in.hasImm ? 1 : 2;
+    }
+}
+
 /** Register class of source operand @a i (defined for i < numSrcs). */
-RegClass srcClass(const Instr &in, int i);
+constexpr RegClass
+srcClass(const Instr &in, int i)
+{
+    switch (in.op) {
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+      case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+      case Opcode::FMov: case Opcode::CvtFI:
+      case Opcode::FStore:
+        return RegClass::Fp;
+      case Opcode::FSelect:
+        return i == 0 ? RegClass::Int : RegClass::Fp;
+      default:
+        return RegClass::Int;
+    }
+}
+
 /** Register class of the destination (None if no dst). */
-RegClass dstClass(const Instr &in);
+constexpr RegClass
+dstClass(const Instr &in)
+{
+    switch (in.op) {
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FSelect: case Opcode::FMovImm:
+      case Opcode::FMov: case Opcode::CvtIF: case Opcode::FLoad:
+        return RegClass::Fp;
+      case Opcode::Store: case Opcode::FStore: case Opcode::Prefetch:
+      case Opcode::Br: case Opcode::Jmp: case Opcode::Halt:
+        return RegClass::None;
+      default:
+        return RegClass::Int;
+    }
+}
 
 /**
  * Appends every register the instruction reads — explicit sources plus
  * address registers of memory operands — as (class, reg) pairs.
  */
-void gatherReads(const Instr &in,
-                 std::vector<std::pair<RegClass, uint32_t>> &out);
+inline void
+gatherReads(const Instr &in,
+            std::vector<std::pair<RegClass, uint32_t>> &out)
+{
+    const int n = numSrcs(in);
+    for (int i = 0; i < n; i++) {
+        if (in.src[i] != kNoReg)
+            out.emplace_back(srcClass(in, i), in.src[i]);
+    }
+    if (hasMemOperand(in.op)) {
+        if (in.mem.base != kNoReg)
+            out.emplace_back(RegClass::Int, in.mem.base);
+        if (in.mem.index != kNoReg)
+            out.emplace_back(RegClass::Int, in.mem.index);
+    }
+}
 
 /** Human-readable mnemonic. */
 const char *opcodeName(Opcode op);

@@ -42,6 +42,16 @@ verify(const Program &prog, const Function &fn)
             if (in.op == Opcode::Jmp && in.taken >= nblocks)
                 return problem(fn, bb, "jump target out of range");
 
+            // The interpreter reads both register operands of FP
+            // arithmetic unconditionally, so an immediate form (which
+            // would leave src[1] unchecked by the operand loop below)
+            // must be rejected rather than executed as UB.
+            if (in.hasImm && srcClass(in, 1) == RegClass::Fp &&
+                classOf(in.op) == InstrClass::FpAlu) {
+                return problem(fn, bb, std::string("immediate operand "
+                               "on fp instruction ") + opcodeName(in.op));
+            }
+
             const int n = numSrcs(in);
             for (int s = 0; s < n; s++) {
                 if (in.src[s] == kNoReg)

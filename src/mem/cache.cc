@@ -12,6 +12,15 @@ isPowerOfTwo(uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+uint32_t
+log2OfPowerOfTwo(uint64_t v)
+{
+    uint32_t s = 0;
+    while ((uint64_t(1) << s) < v)
+        s++;
+    return s;
+}
+
 } // namespace
 
 Cache::Cache(const CacheConfig &config)
@@ -21,6 +30,13 @@ Cache::Cache(const CacheConfig &config)
     assert(config_.assoc >= 1);
     assert(config_.sizeBytes % (config_.blockSize * config_.assoc) == 0);
     lines_.assign(config_.numSets() * config_.assoc, Line{});
+    block_shift_ = log2OfPowerOfTwo(config_.blockSize);
+    num_sets_ = config_.numSets();
+    sets_pow2_ = isPowerOfTwo(num_sets_);
+    if (sets_pow2_) {
+        set_shift_ = log2OfPowerOfTwo(num_sets_);
+        set_mask_ = num_sets_ - 1;
+    }
 }
 
 Cache::Result

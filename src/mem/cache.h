@@ -42,6 +42,33 @@ class Cache
 
     Result access(uint64_t addr, bool is_write);
 
+    /**
+     * Inline hit-only fast path: behaves exactly like access() when
+     * the block is resident (same clock, LRU and hit accounting) and
+     * returns true; on a miss it changes nothing and returns false,
+     * and the caller must complete the access via access(). Lets
+     * per-instruction callers keep the ~99% hit case out of line-call
+     * territory.
+     */
+    bool
+    accessFastHit(uint64_t addr, bool is_write)
+    {
+        const size_t set = setIndex(addr);
+        const uint64_t tag = tagOf(addr);
+        Line *ways = lines_.data() + set * config_.assoc;
+        for (uint32_t w = 0; w < config_.assoc; w++) {
+            if (ways[w].valid && ways[w].tag == tag) {
+                clock_++;
+                ways[w].lastUse = clock_;
+                if (is_write && config_.writeBack)
+                    ways[w].dirty = true;
+                hits_++;
+                return true;
+            }
+        }
+        return false;
+    }
+
     /** True if the block containing @a addr is currently resident. */
     bool probe(uint64_t addr) const;
 
@@ -64,17 +91,28 @@ class Cache
         bool dirty = false;
     };
 
+    // Block size is always a power of two and set counts nearly
+    // always are, so the per-access index/tag math runs as shifts and
+    // masks instead of two integer divisions (this is the hottest
+    // arithmetic in characterize-mode simulation).
     size_t setIndex(uint64_t addr) const
     {
-        return (addr / config_.blockSize) % config_.numSets();
+        const uint64_t block = addr >> block_shift_;
+        return sets_pow2_ ? (block & set_mask_) : (block % num_sets_);
     }
     uint64_t tagOf(uint64_t addr) const
     {
-        return addr / config_.blockSize / config_.numSets();
+        const uint64_t block = addr >> block_shift_;
+        return sets_pow2_ ? (block >> set_shift_) : (block / num_sets_);
     }
 
     CacheConfig config_;
     std::vector<Line> lines_; ///< numSets x assoc, row-major
+    uint32_t block_shift_ = 6;
+    uint32_t set_shift_ = 0;
+    uint64_t set_mask_ = 0;
+    uint64_t num_sets_ = 1;
+    bool sets_pow2_ = false;
     uint64_t clock_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;

@@ -27,7 +27,7 @@ CacheHierarchy::referenceConfig()
 }
 
 CacheHierarchy::Access
-CacheHierarchy::access(uint64_t addr, bool is_write)
+CacheHierarchy::accessMiss(uint64_t addr, bool is_write)
 {
     demand_accesses_++;
     Access out;

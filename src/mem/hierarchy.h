@@ -42,7 +42,20 @@ class CacheHierarchy
     /** The Table 3 reference configuration (Alpha 21264 / ATOM model). */
     static CacheHierarchy referenceConfig();
 
-    Access access(uint64_t addr, bool is_write);
+    /**
+     * One demand access. The L1-hit case — the overwhelming majority,
+     * per Table 2 — inlines into the caller; misses take the
+     * out-of-line path through both levels.
+     */
+    Access
+    access(uint64_t addr, bool is_write)
+    {
+        if (l1_.accessFastHit(addr, is_write)) {
+            demand_accesses_++;
+            return Access{Level::L1, lat_.l1HitLatency};
+        }
+        return accessMiss(addr, is_write);
+    }
 
     void reset();
 
@@ -65,6 +78,9 @@ class CacheHierarchy
     double amat() const;
 
   private:
+    /** Completes an access after the L1 fast path missed. */
+    Access accessMiss(uint64_t addr, bool is_write);
+
     Cache l1_;
     Cache l2_;
     LatencyConfig lat_;

@@ -31,6 +31,13 @@ CacheProfiler::onInstr(const vm::DynInstr &di)
     }
 }
 
+void
+CacheProfiler::onBatch(const vm::DynInstr *batch, size_t n)
+{
+    for (size_t i = 0; i < n; i++)
+        CacheProfiler::onInstr(batch[i]); // devirtualized tight loop
+}
+
 double
 CacheProfiler::l1LocalMissRate() const
 {

@@ -22,6 +22,7 @@ class CacheProfiler : public vm::TraceSink
     explicit CacheProfiler(mem::CacheHierarchy hierarchy);
 
     void onInstr(const vm::DynInstr &di) override;
+    void onBatch(const vm::DynInstr *batch, size_t n) override;
 
     uint64_t loads() const { return loads_; }
     uint64_t loadL1Misses() const { return load_l1_misses_; }

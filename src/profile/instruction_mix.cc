@@ -11,6 +11,14 @@ InstructionMixProfiler::onInstr(const vm::DynInstr &di)
     total_++;
 }
 
+void
+InstructionMixProfiler::onBatch(const vm::DynInstr *batch, size_t n)
+{
+    for (size_t i = 0; i < n; i++)
+        counts_[static_cast<size_t>(ir::classOf(batch[i].instr->op))]++;
+    total_ += n;
+}
+
 uint64_t
 InstructionMixProfiler::loads() const
 {

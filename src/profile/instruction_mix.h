@@ -21,6 +21,7 @@ class InstructionMixProfiler : public vm::TraceSink
 {
   public:
     void onInstr(const vm::DynInstr &di) override;
+    void onBatch(const vm::DynInstr *batch, size_t n) override;
 
     uint64_t total() const { return total_; }
     uint64_t loads() const;

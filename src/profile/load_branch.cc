@@ -4,12 +4,6 @@
 
 namespace bioperf::profile {
 
-namespace {
-
-constexpr size_t kMaxOrigins = 4;
-
-} // namespace
-
 LoadBranchProfiler::LoadBranchProfiler()
     : LoadBranchProfiler(Params{})
 {
@@ -18,89 +12,177 @@ LoadBranchProfiler::LoadBranchProfiler()
 LoadBranchProfiler::LoadBranchProfiler(const Params &params)
     : params_(params)
 {
+    // A window of W instructions holds at most W loads, and a tight
+    // candidate lives at most tightWindow instructions.
+    window_loads_.reset(params_.chainWindow + 1);
+    tight_pending_.reset(params_.tightWindow + 2);
 }
 
-std::vector<LoadBranchProfiler::Origin> &
-LoadBranchProfiler::taintOf(ir::RegClass cls, uint32_t reg)
+void
+LoadBranchProfiler::growTaint(std::vector<TaintSet> &v, uint32_t reg)
 {
-    auto &v = cls == ir::RegClass::Fp ? fp_taint_ : int_taint_;
-    if (reg >= v.size())
-        v.resize(reg + 1);
-    return v[reg];
+    v.resize(reg + 1);
+}
+
+void
+LoadBranchProfiler::decodeSid(const ir::Instr &in)
+{
+    if (in.sid >= sid_info_.size())
+        sid_info_.resize(in.sid + 1);
+    SidInfo &si = sid_info_[in.sid];
+
+    switch (ir::classOf(in.op)) {
+      case ir::InstrClass::Load:
+      case ir::InstrClass::FpLoad:
+        si.kind = SidInfo::kLoad;
+        break;
+      case ir::InstrClass::CondBranch:
+        si.kind = SidInfo::kBranch;
+        si.src0 = in.src[0];
+        break;
+      case ir::InstrClass::Store:
+      case ir::InstrClass::FpStore:
+      case ir::InstrClass::Prefetch:
+      case ir::InstrClass::Jump:
+      case ir::InstrClass::Halt:
+        si.kind = SidInfo::kNoDst;
+        break;
+      case ir::InstrClass::IntAlu:
+      case ir::InstrClass::FpAlu:
+        si.kind =
+            (in.op == ir::Opcode::MovImm || in.op == ir::Opcode::FMovImm)
+                ? SidInfo::kMovImm
+                : SidInfo::kAlu;
+        break;
+    }
+
+    const ir::RegClass dc = ir::dstClass(in);
+    si.dstNone = dc == ir::RegClass::None;
+    si.dstFp = dc == ir::RegClass::Fp;
+    si.dst = in.dst;
+
+    const int n = ir::numSrcs(in);
+    for (int i = 0; i < n; i++) {
+        if (in.src[i] == ir::kNoReg)
+            continue;
+        si.srcs[si.numSrcs].fp =
+            ir::srcClass(in, i) == ir::RegClass::Fp;
+        si.srcs[si.numSrcs].reg = in.src[i];
+        si.numSrcs++;
+    }
+
+    std::vector<std::pair<ir::RegClass, uint32_t>> reads;
+    ir::gatherReads(in, reads);
+    for (const auto &[cls, reg] : reads) {
+        si.reads[si.numReads].fp = cls == ir::RegClass::Fp;
+        si.reads[si.numReads].reg = reg;
+        si.numReads++;
+    }
+
+    // Single-register-source ALU ops (moves, converts, op-with-
+    // immediate) dominate the ALU mix and merge trivially.
+    if (si.kind == SidInfo::kAlu && si.numSrcs == 1 && !si.dstNone)
+        si.kind = SidInfo::kAlu1;
+
+    si.decoded = true;
 }
 
 void
 LoadBranchProfiler::onInstr(const vm::DynInstr &di)
 {
+    step(di);
+}
+
+#if defined(__GNUC__)
+__attribute__((flatten))
+#endif
+void
+LoadBranchProfiler::onBatch(const vm::DynInstr *batch, size_t n)
+{
+    // flatten keeps the whole step() body in this loop, so the
+    // profiler's scalar state stays in registers across the batch.
+    for (size_t i = 0; i < n; i++)
+        step(batch[i]);
+}
+
+void
+LoadBranchProfiler::step(const vm::DynInstr &di)
+{
     const ir::Instr &in = *di.instr;
+    const SidInfo &si = infoOf(in);
     gseq_++;
 
-    // Expire window entries.
+    // Expire window entries (and tight candidates already consumed,
+    // which are tombstoned rather than erased in place).
     while (!window_loads_.empty() &&
            gseq_ - window_loads_.front().gseq > params_.chainWindow) {
         window_loads_.pop_front();
     }
     while (!tight_pending_.empty() &&
-           gseq_ - tight_pending_.front().gseq > params_.tightWindow) {
+           (tight_pending_.front().reg == ir::kNoReg ||
+            gseq_ - tight_pending_.front().gseq >
+                params_.tightWindow)) {
         tight_pending_.pop_front();
     }
 
     // Check whether this instruction is the first consumer of a
     // pending tight-chain candidate.
     if (!tight_pending_.empty()) {
-        reads_buf_.clear();
-        gatherReads(in, reads_buf_);
-        for (auto it = tight_pending_.begin();
-             it != tight_pending_.end();) {
-            bool consumed = false;
-            for (auto &[cls, reg] : reads_buf_) {
-                if (cls == it->cls && reg == it->reg) {
-                    consumed = true;
+        for (uint32_t i = tight_pending_.head;
+             i != tight_pending_.tail; i++) {
+            TightCandidate &cand =
+                tight_pending_.buf[i & tight_pending_.mask];
+            if (cand.reg == ir::kNoReg)
+                continue;
+            for (uint8_t j = 0; j < si.numReads; j++) {
+                if (si.reads[j].reg == cand.reg &&
+                    (si.reads[j].fp != 0) == cand.fp) {
+                    after_hard_loads_++;
+                    cand.reg = ir::kNoReg;
                     break;
                 }
-            }
-            if (consumed) {
-                after_hard_loads_++;
-                it = tight_pending_.erase(it);
-            } else {
-                ++it;
             }
         }
     }
 
-    const ir::Opcode op = in.op;
-
-    if (ir::isLoad(op)) {
+    switch (si.kind) {
+      case SidInfo::kLoad: {
         total_loads_++;
+        const uint32_t slot = window_loads_.tail;
         window_loads_.push_back({gseq_, false});
         // The loaded value is a fresh origin, replacing any taint the
         // destination register carried.
-        setTaint(ir::dstClass(in), in.dst, {{gseq_, in.sid}});
+        TaintSet &dst = taintOf(si.dstFp, si.dst);
+        dst.origins[0] = {gseq_, in.sid, slot};
+        dst.count = 1;
 
         // Branch-to-load detection (Table 4b): right after a branch
         // that has proven hard to predict.
         if (last_hard_branch_ != UINT64_MAX &&
             gseq_ - last_hard_branch_ <= params_.afterWindow) {
-            tight_pending_.push_back({gseq_, ir::dstClass(in), in.dst});
+            tight_pending_.push_back({gseq_, si.dstFp, si.dst});
         }
         return;
-    }
+      }
 
-    if (op == ir::Opcode::Br) {
+      case SidInfo::kBranch: {
         // Load-to-branch detection: taint on the condition register.
-        auto &taint = taintOf(ir::RegClass::Int, in.src[0]);
+        const TaintSet &taint = taintOf(false, si.src0);
         bool terminated_chain = false;
-        for (const Origin &o : taint) {
+        for (uint8_t t = 0; t < taint.count; t++) {
+            const Origin &o = taint.origins[t];
             if (gseq_ - o.gseq > params_.chainWindow)
                 continue;
             terminated_chain = true;
-            // Mark the originating load (linear scan over a <=
-            // chainWindow-sized deque).
-            for (auto &pl : window_loads_) {
-                if (pl.gseq == o.gseq && !pl.fed) {
-                    pl.fed = true;
-                    ltb_loads_++;
-                }
+            // Mark the originating load. An origin inside the chain
+            // window implies its ring entry has not expired (the ring
+            // expires on the same window), so its recorded slot still
+            // addresses it directly.
+            PendingLoad &pl =
+                window_loads_.buf[o.slot & window_loads_.mask];
+            if (pl.gseq == o.gseq && !pl.fed) {
+                pl.fed = true;
+                ltb_loads_++;
             }
         }
 
@@ -117,45 +199,76 @@ LoadBranchProfiler::onInstr(const vm::DynInstr &di)
             last_hard_branch_ = gseq_;
         }
         return;
-    }
+      }
 
-    if (ir::isStore(op) || op == ir::Opcode::Prefetch ||
-        op == ir::Opcode::Jmp || op == ir::Opcode::Halt) {
+      case SidInfo::kNoDst:
         return; // no register result
+
+      case SidInfo::kMovImm:
+        taintOf(si.dstFp, si.dst).count = 0;
+        return;
+
+      case SidInfo::kAlu1: {
+        // Exactly the generic merge below for one source: filter the
+        // source's live origins straight into the destination. The
+        // first call grows the taint table in the same order as the
+        // generic path; the re-fetch after the dst lookup guards
+        // against that growth invalidating the src reference. When
+        // src == dst the in-place compaction is safe: each write
+        // lands at or before the position just read.
+        taintOf(si.srcs[0].fp != 0, si.srcs[0].reg);
+        TaintSet &dst = taintOf(si.dstFp, si.dst);
+        const TaintSet &src =
+            taintOf(si.srcs[0].fp != 0, si.srcs[0].reg);
+        uint8_t m = 0;
+        for (uint8_t t = 0; t < src.count; t++)
+            if (gseq_ - src.origins[t].gseq <= params_.chainWindow)
+                dst.origins[m++] = src.origins[t];
+        dst.count = m;
+        return;
+      }
+
+      case SidInfo::kAlu:
+        break;
     }
 
     // Register-producing ALU operation: propagate the union of the
     // source operands' origins to the destination.
-    if (op == ir::Opcode::MovImm || op == ir::Opcode::FMovImm) {
-        setTaint(ir::dstClass(in), in.dst, {});
-        return;
-    }
-    std::vector<Origin> merged;
-    const int n = ir::numSrcs(in);
-    for (int i = 0; i < n; i++) {
-        if (in.src[i] == ir::kNoReg)
+    TaintSet merged;
+    for (uint8_t i = 0; i < si.numSrcs; i++) {
+        const TaintSet &src =
+            taintOf(si.srcs[i].fp != 0, si.srcs[i].reg);
+        if (merged.count == 0) {
+            // Origins within one set are unique by construction, so
+            // the first contributing source needs no duplicate checks.
+            for (uint8_t t = 0;
+                 t < src.count && merged.count < TaintSet::kMaxOrigins;
+                 t++) {
+                if (gseq_ - src.origins[t].gseq <= params_.chainWindow)
+                    merged.origins[merged.count++] = src.origins[t];
+            }
             continue;
-        for (const Origin &o : taintOf(ir::srcClass(in, i), in.src[i])) {
+        }
+        for (uint8_t t = 0; t < src.count; t++) {
+            const Origin &o = src.origins[t];
             if (gseq_ - o.gseq > params_.chainWindow)
                 continue;
             bool dup = false;
-            for (const Origin &m : merged)
-                if (m.gseq == o.gseq)
+            for (uint8_t m = 0; m < merged.count; m++)
+                if (merged.origins[m].gseq == o.gseq)
                     dup = true;
-            if (!dup && merged.size() < kMaxOrigins)
-                merged.push_back(o);
+            if (!dup && merged.count < TaintSet::kMaxOrigins)
+                merged.origins[merged.count++] = o;
         }
     }
-    setTaint(ir::dstClass(in), in.dst, std::move(merged));
-}
-
-void
-LoadBranchProfiler::setTaint(ir::RegClass cls, uint32_t reg,
-                             std::vector<Origin> taint)
-{
-    if (cls == ir::RegClass::None)
-        return;
-    taintOf(cls, reg) = std::move(taint);
+    if (!si.dstNone) {
+        // Copy only the live origins; a full TaintSet assignment
+        // moves the whole inline array on every ALU instruction.
+        TaintSet &dst = taintOf(si.dstFp, si.dst);
+        dst.count = merged.count;
+        for (uint8_t m = 0; m < merged.count; m++)
+            dst.origins[m] = merged.origins[m];
+    }
 }
 
 void
@@ -163,9 +276,9 @@ LoadBranchProfiler::onRunEnd()
 {
     // Register state does not survive a run; neither do chains.
     for (auto &t : int_taint_)
-        t.clear();
+        t.count = 0;
     for (auto &t : fp_taint_)
-        t.clear();
+        t.count = 0;
     window_loads_.clear();
     tight_pending_.clear();
     last_hard_branch_ = UINT64_MAX;

@@ -2,7 +2,6 @@
 #define BIOPERF_PROFILE_LOAD_BRANCH_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "branch/predictors.h"
@@ -45,6 +44,7 @@ class LoadBranchProfiler : public vm::TraceSink
     explicit LoadBranchProfiler(const Params &params);
 
     void onInstr(const vm::DynInstr &di) override;
+    void onBatch(const vm::DynInstr *batch, size_t n) override;
     void onRunEnd() override;
 
     uint64_t dynamicLoads() const { return total_loads_; }
@@ -64,6 +64,25 @@ class LoadBranchProfiler : public vm::TraceSink
     {
         uint64_t gseq = 0;
         uint32_t sid = 0;
+        /**
+         * Absolute push position of the load's window_loads_ entry.
+         * While the origin is inside the chain window the entry is
+         * still live (the ring expires on the same window), so the
+         * terminating branch can mark its load in O(1) instead of
+         * scanning the window.
+         */
+        uint32_t slot = 0;
+    };
+
+    /**
+     * Bounded set of origins per register, stored inline so taint
+     * propagation on the trace hot path never touches the heap.
+     */
+    struct TaintSet
+    {
+        static constexpr size_t kMaxOrigins = 4;
+        Origin origins[kMaxOrigins];
+        uint8_t count = 0;
     };
 
     struct PendingLoad
@@ -75,23 +94,134 @@ class LoadBranchProfiler : public vm::TraceSink
     struct TightCandidate
     {
         uint64_t gseq = 0;
-        ir::RegClass cls = ir::RegClass::Int;
+        bool fp = false;
+        /** kNoReg marks a consumed (dead) entry awaiting expiry. */
         uint32_t reg = 0;
     };
 
-    std::vector<Origin> &taintOf(ir::RegClass cls, uint32_t reg);
-    void setTaint(ir::RegClass cls, uint32_t reg,
-                  std::vector<Origin> taint);
+    /**
+     * Per-static-instruction facts, decoded once per sid so the trace
+     * hot path never re-derives operand shapes from the IR. Register
+     * operands are pre-filtered (no kNoReg entries) and classes are
+     * pre-resolved to a compact fp flag.
+     */
+    struct SidInfo
+    {
+        enum Kind : uint8_t
+        {
+            kLoad,
+            kBranch,
+            kNoDst, ///< store/prefetch/jmp/halt: no register result
+            kMovImm,
+            kAlu1, ///< one register source, register dst (mov, op-imm)
+            kAlu
+        };
+        struct Reg
+        {
+            uint8_t fp = 0;
+            uint32_t reg = 0;
+        };
+        bool decoded = false;
+        Kind kind = kNoDst;
+        bool dstFp = false;
+        bool dstNone = false;
+        uint8_t numSrcs = 0;  ///< filtered sources, merge order
+        uint8_t numReads = 0; ///< all reads incl. address registers
+        uint32_t dst = 0;
+        uint32_t src0 = 0; ///< branch condition register
+        Reg srcs[3];
+        Reg reads[5];
+    };
+
+    /**
+     * Bounded FIFO over a power-of-two array. Entries live at most
+     * one window, so the windows bound capacity and push/pop/expire
+     * run without the deque's segment management on the trace hot
+     * path. Grows (rarely) if a window parameter outruns the initial
+     * capacity.
+     */
+    template <class T> struct Ring
+    {
+        std::vector<T> buf;
+        uint32_t mask = 0;
+        uint32_t head = 0; ///< index of the oldest entry
+        uint32_t tail = 0; ///< one past the newest entry
+
+        void
+        reset(size_t min_capacity)
+        {
+            size_t cap = 8;
+            while (cap < min_capacity)
+                cap *= 2;
+            buf.assign(cap, T{});
+            mask = static_cast<uint32_t>(cap - 1);
+            head = tail = 0;
+        }
+        bool empty() const { return head == tail; }
+        uint32_t size() const { return tail - head; }
+        T &front() { return buf[head & mask]; }
+        void pop_front() { head++; }
+        void
+        push_back(const T &v)
+        {
+            if (size() == buf.size())
+                grow();
+            buf[tail & mask] = v;
+            tail++;
+        }
+        void
+        grow()
+        {
+            // Re-home entries at their absolute position modulo the
+            // new capacity, so buf[pos & mask] stays valid for any
+            // recorded push position (Origin::slot relies on this).
+            std::vector<T> wider(buf.size() * 2);
+            const uint32_t wider_mask =
+                static_cast<uint32_t>(wider.size() - 1);
+            for (uint32_t i = head; i != tail; i++)
+                wider[i & wider_mask] = buf[i & mask];
+            buf = std::move(wider);
+            mask = wider_mask;
+        }
+        void clear() { head = tail = 0; }
+    };
+
+    /**
+     * Inline fast path: the grow branch is out of line so the common
+     * lookup inlines into the per-instruction step() without pulling
+     * the allocator in with it.
+     */
+    TaintSet &
+    taintOf(bool fp, uint32_t reg)
+    {
+        auto &v = fp ? fp_taint_ : int_taint_;
+        if (reg >= v.size()) [[unlikely]]
+            growTaint(v, reg);
+        return v[reg];
+    }
+    static void growTaint(std::vector<TaintSet> &v, uint32_t reg);
+
+    /** Decoded-once lookup; the cold decode path is out of line. */
+    const SidInfo &
+    infoOf(const ir::Instr &in)
+    {
+        if (in.sid >= sid_info_.size() ||
+            !sid_info_[in.sid].decoded) [[unlikely]]
+            decodeSid(in);
+        return sid_info_[in.sid];
+    }
+    void decodeSid(const ir::Instr &in);
+    void step(const vm::DynInstr &di);
 
     Params params_;
     branch::HybridPredictor pred_;
     uint64_t gseq_ = 0;
 
-    std::vector<std::vector<Origin>> int_taint_;
-    std::vector<std::vector<Origin>> fp_taint_;
+    std::vector<TaintSet> int_taint_;
+    std::vector<TaintSet> fp_taint_;
 
-    std::deque<PendingLoad> window_loads_;
-    std::deque<TightCandidate> tight_pending_;
+    Ring<PendingLoad> window_loads_;
+    Ring<TightCandidate> tight_pending_;
 
     uint64_t last_hard_branch_ = UINT64_MAX; ///< gseq, or none yet
 
@@ -101,7 +231,7 @@ class LoadBranchProfiler : public vm::TraceSink
     uint64_t ltb_branch_miss_ = 0;
     uint64_t after_hard_loads_ = 0;
 
-    std::vector<std::pair<ir::RegClass, uint32_t>> reads_buf_;
+    std::vector<SidInfo> sid_info_;
 };
 
 } // namespace bioperf::profile

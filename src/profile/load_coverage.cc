@@ -16,6 +16,20 @@ LoadCoverageProfiler::onInstr(const vm::DynInstr &di)
     total_loads_++;
 }
 
+void
+LoadCoverageProfiler::onBatch(const vm::DynInstr *batch, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        const ir::Instr &in = *batch[i].instr;
+        if (!ir::isLoad(in.op))
+            continue;
+        if (in.sid >= per_sid_.size())
+            per_sid_.resize(in.sid + 1, 0);
+        per_sid_[in.sid]++;
+        total_loads_++;
+    }
+}
+
 uint64_t
 LoadCoverageProfiler::staticLoads() const
 {

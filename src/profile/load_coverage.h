@@ -20,6 +20,7 @@ class LoadCoverageProfiler : public vm::TraceSink
 {
   public:
     void onInstr(const vm::DynInstr &di) override;
+    void onBatch(const vm::DynInstr *batch, size_t n) override;
 
     uint64_t dynamicLoads() const { return total_loads_; }
     /** Number of distinct static loads that executed at least once. */

@@ -62,6 +62,13 @@ PerLoadProfiler::onInstr(const vm::DynInstr &di)
 }
 
 void
+PerLoadProfiler::onBatch(const vm::DynInstr *batch, size_t n)
+{
+    for (size_t i = 0; i < n; i++)
+        PerLoadProfiler::onInstr(batch[i]); // devirtualized tight loop
+}
+
+void
 PerLoadProfiler::onRunEnd()
 {
     pending_.clear();

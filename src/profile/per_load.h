@@ -43,6 +43,7 @@ class PerLoadProfiler : public vm::TraceSink
     explicit PerLoadProfiler(const ir::Program &prog);
 
     void onInstr(const vm::DynInstr &di) override;
+    void onBatch(const vm::DynInstr *batch, size_t n) override;
     void onRunEnd() override;
 
     uint64_t dynamicLoads() const { return total_loads_; }

@@ -5,12 +5,40 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "ir/verify.h"
+
 namespace bioperf::vm {
 
 using ir::Opcode;
 
+namespace {
+
+/**
+ * True for the binary integer ALU opcodes whose second operand is
+ * `imm` or an integer register (the `b` operand of the dispatch
+ * loop). FP arithmetic, Select and the mov/convert forms read their
+ * operands directly in their own cases.
+ */
+bool
+usesIntSecondOperand(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Shl: case Opcode::Shr:
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
 Interpreter::Interpreter(const ir::Program &prog)
-    : prog_(prog), mem_(prog.memoryBytes())
+    : prog_(prog), mem_(prog.memoryBytes()), batch_(kBatchCapacity)
 {
 }
 
@@ -25,10 +53,74 @@ Interpreter::effectiveAddress(const ir::Instr &in) const
     return addr;
 }
 
+const Interpreter::FlatFunction &
+Interpreter::flatten(const ir::Function &fn)
+{
+    FlatFunction &flat = flat_cache_[&fn];
+    const size_t n_instrs = fn.numInstrs();
+    if (!flat.code.empty() && flat.numBlocks == fn.blocks.size() &&
+        flat.numInstrs == n_instrs && flat.numIntRegs == fn.numIntRegs &&
+        flat.numFpRegs == fn.numFpRegs) {
+        return flat;
+    }
+
+    // Validate the whole function once so the dispatch loop can index
+    // register files unchecked: malformed IR fails loudly here
+    // instead of silently as out-of-bounds reads mid-run.
+    const std::string err = ir::verify(prog_, fn);
+    if (!err.empty()) {
+        std::fprintf(stderr,
+                     "interpreter: refusing to execute invalid IR: %s\n",
+                     err.c_str());
+        std::abort();
+    }
+
+    std::vector<uint32_t> block_start(fn.blocks.size(), 0);
+    uint32_t at = 0;
+    for (size_t b = 0; b < fn.blocks.size(); b++) {
+        block_start[b] = at;
+        at += static_cast<uint32_t>(fn.blocks[b].instrs.size());
+    }
+
+    flat.code.clear();
+    flat.code.reserve(n_instrs);
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.instrs) {
+            Decoded d;
+            d.in = &in;
+            d.next = static_cast<uint32_t>(flat.code.size()) + 1;
+            if (in.op == Opcode::Jmp) {
+                d.next = block_start[in.taken];
+            } else if (in.op == Opcode::Br) {
+                d.takenIdx = block_start[in.taken];
+                d.notTakenIdx = block_start[in.notTaken];
+            }
+            if (!in.hasImm && usesIntSecondOperand(in.op))
+                d.bReg = in.src[1];
+            flat.code.push_back(d);
+        }
+    }
+    flat.numBlocks = fn.blocks.size();
+    flat.numInstrs = n_instrs;
+    flat.numIntRegs = fn.numIntRegs;
+    flat.numFpRegs = fn.numFpRegs;
+    return flat;
+}
+
+void
+Interpreter::flush(size_t n)
+{
+    for (TraceSink *s : sinks_)
+        s->onBatch(batch_.data(), n);
+}
+
 uint64_t
 Interpreter::run(const ir::Function &fn,
                  const std::vector<int64_t> &params, uint64_t max_instrs)
 {
+    const FlatFunction &flat = flatten(fn);
+    const Decoded *code = flat.code.data();
+
     iregs_.assign(fn.numIntRegs, 0);
     fregs_.assign(fn.numFpRegs, 0.0);
     assert(params.size() == fn.params.size() &&
@@ -36,30 +128,29 @@ Interpreter::run(const ir::Function &fn,
     for (size_t i = 0; i < params.size(); i++)
         iregs_[fn.params[i].second] = params[i];
 
+    const bool batched = trace_mode_ == TraceMode::Batched;
     uint64_t count = 0;
-    uint32_t bb = 0;
-    size_t pc = 0;
-    DynInstr di;
+    uint32_t idx = 0;
+    size_t bn = 0;
 
     for (;;) {
-        const ir::Instr &in = fn.blocks[bb].instrs[pc];
+        const Decoded &d = code[idx];
+        const ir::Instr &in = *d.in;
+        DynInstr &di = batch_[bn];
         di.instr = &in;
         di.seq = count;
         di.addr = 0;
         di.loadValueBits = 0;
         di.taken = false;
 
-        uint32_t next_bb = bb;
-        size_t next_pc = pc + 1;
+        uint32_t next = d.next;
         bool halt = false;
 
-        // Second integer operand for the int-ALU cases below. The
-        // bounds check matters: fp opcodes put fp register indices in
-        // src[1], which must not be used to index iregs_.
+        // Second integer operand for the int-ALU cases below; bReg
+        // was validated against the register file at flatten time.
         const int64_t b = in.hasImm
             ? in.imm
-            : (in.src[1] != ir::kNoReg && in.src[1] < iregs_.size()
-                   ? iregs_[in.src[1]] : 0);
+            : (d.bReg != ir::kNoReg ? iregs_[d.bReg] : 0);
 
         switch (in.op) {
           case Opcode::Add:
@@ -203,21 +294,25 @@ Interpreter::run(const ir::Function &fn,
 
           case Opcode::Br:
             di.taken = iregs_[in.src[0]] != 0;
-            next_bb = di.taken ? in.taken : in.notTaken;
-            next_pc = 0;
+            next = di.taken ? d.takenIdx : d.notTakenIdx;
             break;
           case Opcode::Jmp:
-            next_bb = in.taken;
-            next_pc = 0;
-            break;
+            break; // d.next already points at the target
           case Opcode::Halt:
             halt = true;
             break;
         }
 
-        for (TraceSink *s : sinks_)
-            s->onInstr(di);
         count++;
+        if (batched) {
+            if (++bn == kBatchCapacity) {
+                flush(bn);
+                bn = 0;
+            }
+        } else {
+            for (TraceSink *s : sinks_)
+                s->onInstr(di);
+        }
 
         if (halt)
             break;
@@ -229,10 +324,11 @@ Interpreter::run(const ir::Function &fn,
                          fn.name.c_str());
             std::abort();
         }
-        bb = next_bb;
-        pc = next_pc;
+        idx = next;
     }
 
+    if (batched && bn > 0)
+        flush(bn);
     total_instrs_ += count;
     for (TraceSink *s : sinks_)
         s->onRunEnd();

@@ -1,6 +1,7 @@
 #ifndef BIOPERF_VM_TRACE_H_
 #define BIOPERF_VM_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "ir/ir.h"
@@ -37,6 +38,18 @@ struct DynInstr
  * attached to one Interpreter; each sees every instruction in program
  * order (the profilers, cache models and timing cores all implement
  * this interface).
+ *
+ * Delivery comes in two granularities. The interpreter's default path
+ * buffers retired instructions and hands each sink a whole batch at
+ * once via onBatch(), which costs one virtual call per batch instead
+ * of one per instruction. Sinks that only implement onInstr() keep
+ * working unchanged through the default onBatch() adapter; the hot
+ * sinks override onBatch() with a tight native loop.
+ *
+ * Batch entries arrive in program order and are only valid for the
+ * duration of the onBatch() call (the interpreter reuses the buffer).
+ * A batch never spans an Interpreter::run() boundary: all buffered
+ * instructions are flushed before onRunEnd() fires.
  */
 class TraceSink
 {
@@ -44,6 +57,17 @@ class TraceSink
     virtual ~TraceSink() = default;
 
     virtual void onInstr(const DynInstr &di) = 0;
+
+    /**
+     * Delivers @a n consecutive trace events in program order.
+     * Default implementation forwards to onInstr() one by one, so the
+     * batched and per-instruction paths observe identical streams.
+     */
+    virtual void onBatch(const DynInstr *batch, size_t n)
+    {
+        for (size_t i = 0; i < n; i++)
+            onInstr(batch[i]);
+    }
 
     /** Called when one Interpreter::run() invocation finishes. */
     virtual void onRunEnd() {}
