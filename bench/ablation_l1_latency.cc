@@ -12,37 +12,54 @@
 #include "apps/app.h"
 #include "core/simulator.h"
 #include "cpu/platforms.h"
+#include "harness.h"
 #include "util/table.h"
 
 using namespace bioperf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("ablation_l1_latency", argc, argv);
+    h.manifest().app = "hmmsearch";
+    h.manifest().scale = apps::toString(apps::Scale::Small);
+    h.manifest().platform = "alpha21264 (L1 latency swept)";
+
     std::printf("=== Ablation: hmmsearch speedup vs L1 hit latency "
                 "(Alpha 21264 core otherwise) ===\n\n");
     util::TextTable t({ "L1 hit latency (cycles)", "baseline cycles",
                         "transformed cycles", "speedup" });
     const auto &app = *apps::findApp("hmmsearch");
+    util::json::Value points = util::json::Value::array();
+    uint64_t total_instrs = 0;
+    const double t0 = bench::now();
     for (uint32_t lat = 1; lat <= 5; lat++) {
         cpu::PlatformConfig p = cpu::alpha21264();
         p.latencies.l1HitLatency = lat;
-        core::TimingResult tb, tx;
-        const double sp = core::Simulator::speedup(
-            app, p, apps::Scale::Small, 42, &tb, &tx);
-        if (!tb.verified || !tx.verified) {
+        const core::SpeedupResult r = core::Simulator::speedup(
+            app, p, apps::Scale::Small, 42);
+        if (!r.verified()) {
             std::printf("VERIFICATION FAILED\n");
-            return 1;
+            return h.finish(false);
         }
+        total_instrs +=
+            r.baseline.instructions + r.transformed.instructions;
+        util::json::Value pt = r.report();
+        pt["l1_hit_latency"] = static_cast<uint64_t>(lat);
+        points.push(std::move(pt));
         t.row()
             .cell(static_cast<uint64_t>(lat))
-            .cell(tb.cycles)
-            .cell(tx.cycles)
-            .cellPercent(100.0 * (sp - 1.0), 1);
+            .cell(r.baseline.cycles)
+            .cell(r.transformed.cycles)
+            .cellPercent(100.0 * (r.speedup - 1.0), 1);
     }
+    h.manifest().addStage("latency_sweep", bench::now() - t0,
+                          total_instrs);
     std::printf("%s\n", t.str().c_str());
     std::printf("expected shape: monotone growth with the hit "
                 "latency; the residual speedup at 1 cycle is the "
                 "branch-elimination (cmov) share.\n");
-    return 0;
+
+    h.metrics()["points"] = std::move(points);
+    return h.finish(true);
 }

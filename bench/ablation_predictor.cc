@@ -12,35 +12,48 @@
 #include "apps/app.h"
 #include "core/simulator.h"
 #include "cpu/platforms.h"
+#include "harness.h"
 #include "util/table.h"
 
 using namespace bioperf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("ablation_predictor", argc, argv);
+    h.manifest().app = "hmmsearch";
+    h.manifest().scale = apps::toString(apps::Scale::Small);
+    h.manifest().platform = "alpha21264 (predictor swept)";
+
     std::printf("=== Ablation: hmmsearch speedup vs branch predictor "
                 "(Alpha 21264 core) ===\n\n");
     util::TextTable t({ "predictor", "baseline IPC",
                         "baseline mispredicts", "speedup" });
     const auto &app = *apps::findApp("hmmsearch");
+    util::json::Value points = util::json::Value::object();
+    uint64_t total_instrs = 0;
+    const double t0 = bench::now();
     for (const char *pred : { "static", "bimodal", "gshare", "local",
                               "hybrid", "perfect" }) {
         cpu::PlatformConfig p = cpu::alpha21264();
         p.predictor = pred;
-        core::TimingResult tb, tx;
-        const double sp = core::Simulator::speedup(
-            app, p, apps::Scale::Small, 42, &tb, &tx);
-        if (!tb.verified || !tx.verified) {
+        const core::SpeedupResult r = core::Simulator::speedup(
+            app, p, apps::Scale::Small, 42);
+        if (!r.verified()) {
             std::printf("VERIFICATION FAILED\n");
-            return 1;
+            return h.finish(false);
         }
+        total_instrs +=
+            r.baseline.instructions + r.transformed.instructions;
+        points[pred] = r.report();
         t.row()
             .cell(pred)
-            .cell(tb.ipc, 2)
-            .cell(tb.mispredicts)
-            .cellPercent(100.0 * (sp - 1.0), 1);
+            .cell(r.baseline.ipc, 2)
+            .cell(r.baseline.mispredicts)
+            .cellPercent(100.0 * (r.speedup - 1.0), 1);
     }
+    h.manifest().addStage("predictor_sweep", bench::now() - t0,
+                          total_instrs);
     std::printf("%s\n", t.str().c_str());
     std::printf("expected shape: the benefit shrinks as prediction "
                 "improves, and with a *perfect* predictor the "
@@ -50,5 +63,7 @@ main()
                 "exactly because the guarding branches mispredict, "
                 "the paper's Section 2.2 premise. Table 4's rates "
                 "correspond to the hybrid row.\n");
-    return 0;
+
+    h.metrics()["predictors"] = std::move(points);
+    return h.finish(true);
 }

@@ -12,13 +12,18 @@
 
 #include "apps/app.h"
 #include "core/simulator.h"
+#include "harness.h"
 #include "util/table.h"
 
 using namespace bioperf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig1_table1_instruction_mix", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(apps::Scale::Medium);
+
     std::printf("=== Figure 1: instruction profile (class-B-like "
                 "synthetic inputs) ===\n\n");
     util::TextTable fig1({ "program", "loads", "stores",
@@ -28,6 +33,9 @@ main()
 
     double load_sum = 0.0;
     size_t n = 0;
+    util::json::Value per_app = util::json::Value::object();
+    uint64_t total_instrs = 0;
+    const double t0 = bench::now();
     for (const auto &app : apps::bioperfApps()) {
         apps::AppRun run =
             app.make(apps::Variant::Baseline, apps::Scale::Medium, 42);
@@ -35,22 +43,29 @@ main()
         if (!res.verified) {
             std::printf("VERIFICATION FAILED for %s\n",
                         app.name.c_str());
-            return 1;
+            return h.finish(false);
         }
+        total_instrs += res.instructions;
+        util::json::Value one = util::json::Value::object();
+        one["instructions"] = res.instructions;
+        one["mix"] = res.mix.report();
+        per_app[app.name] = std::move(one);
         fig1.row()
             .cell(app.name)
-            .cellPercent(100.0 * res.mix->loadFraction(), 1)
-            .cellPercent(100.0 * res.mix->storeFraction(), 1)
-            .cellPercent(100.0 * res.mix->branchFraction(), 1)
-            .cellPercent(100.0 * res.mix->otherFraction(), 1);
+            .cellPercent(100.0 * res.mix.loadFraction, 1)
+            .cellPercent(100.0 * res.mix.storeFraction, 1)
+            .cellPercent(100.0 * res.mix.branchFraction, 1)
+            .cellPercent(100.0 * res.mix.otherFraction, 1);
         tab1.row()
             .cell(app.name)
             .cell(static_cast<double>(res.instructions) / 1e6, 2)
-            .cellPercent(100.0 * res.mix->fpFraction(), 2)
-            .cellPercent(100.0 * res.mix->fpLoadFraction(), 2);
-        load_sum += res.mix->loadFraction();
+            .cellPercent(100.0 * res.mix.fpFraction, 2)
+            .cellPercent(100.0 * res.mix.fpLoadFraction, 2);
+        load_sum += res.mix.loadFraction;
         n++;
     }
+    h.manifest().addStage("characterize", bench::now() - t0,
+                          total_instrs);
     std::printf("%s\n", fig1.str().c_str());
     std::printf("average load fraction: %.1f%%  (paper: ~30%%)\n\n",
                 100.0 * load_sum / static_cast<double>(n));
@@ -61,5 +76,9 @@ main()
                 "integer codes < 1%% FP\n");
     std::printf("(absolute counts are synthetic-input sized, not the "
                 "20-890 G of the real class-B runs)\n");
-    return 0;
+
+    h.metrics()["apps"] = std::move(per_app);
+    h.metrics()["average_load_fraction"] =
+        load_sum / static_cast<double>(n);
+    return h.finish(true);
 }

@@ -13,13 +13,18 @@
 
 #include "apps/app.h"
 #include "core/simulator.h"
+#include "harness.h"
 #include "util/table.h"
 
 using namespace bioperf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig2_load_coverage", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(apps::Scale::Medium);
+
     const std::vector<const char *> programs = {
         "hmmsearch", "hmmpfam", "clustalw",
         "crafty-like", "vortex-like", "gcc-like",
@@ -38,23 +43,29 @@ main()
     util::TextTable summary(
         { "program", "dynamic loads", "static loads",
           "loads for 90%", "coverage @80" });
+    util::json::Value per_app = util::json::Value::object();
+    uint64_t total_instrs = 0;
+    const double t0 = bench::now();
     for (const char *p : programs) {
         apps::AppRun run = apps::findApp(p)->make(
             apps::Variant::Baseline, apps::Scale::Medium, 42);
         auto res = core::Simulator::characterize(run);
         if (!res.verified) {
             std::printf("VERIFICATION FAILED for %s\n", p);
-            return 1;
+            return h.finish(false);
         }
+        total_instrs += res.instructions;
+        per_app[p] = res.coverage.report();
         summary.row()
             .cell(p)
-            .cell(res.coverage->dynamicLoads())
-            .cell(res.coverage->staticLoads())
-            .cell(static_cast<uint64_t>(
-                res.coverage->loadsForCoverage(0.9)))
-            .cellPercent(100.0 * res.coverage->coverageAt(80), 1);
-        covs.push_back(std::move(res.coverage));
+            .cell(res.coverage.dynamicLoads)
+            .cell(res.coverage.staticLoads)
+            .cell(static_cast<uint64_t>(res.coverage.loadsFor90))
+            .cellPercent(100.0 * res.coverage.coverageAt80, 1);
+        covs.push_back(std::move(res.coverageProfiler));
     }
+    h.manifest().addStage("characterize", bench::now() - t0,
+                          total_instrs);
 
     for (size_t n : points) {
         t.row().cell(static_cast<uint64_t>(n));
@@ -65,5 +76,7 @@ main()
     std::printf("%s\n", summary.str().c_str());
     std::printf("paper shape: BioPerf curves saturate above 90%% by "
                 "~80 loads; SPEC-like curves stay at 10-58%%\n");
-    return 0;
+
+    h.metrics()["apps"] = std::move(per_app);
+    return h.finish(true);
 }

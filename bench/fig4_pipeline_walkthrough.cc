@@ -18,6 +18,7 @@
 
 #include "apps/app.h"
 #include "cpu/ooo_core.h"
+#include "harness.h"
 #include "ir/printer.h"
 #include "vm/interpreter.h"
 
@@ -32,7 +33,7 @@ struct Rec
     uint64_t seq;
 };
 
-void
+util::json::Value
 walkthrough(apps::Variant variant, const char *title)
 {
     apps::AppRun run = apps::findApp("hmmsearch")
@@ -90,25 +91,46 @@ walkthrough(apps::Variant variant, const char *title)
     if (frozen.empty())
         std::printf("(no misprediction captured)\n");
     std::printf("\n");
+
+    util::json::Value v = util::json::Value::object();
+    v["captured_instructions"] =
+        static_cast<uint64_t>(frozen.size());
+    uint64_t mispredicted = 0;
+    for (const auto &r : frozen)
+        if (r.t.mispredicted)
+            mispredicted++;
+    v["mispredicted_in_window"] = mispredicted;
+    v["total_instructions"] = interp.totalInstrs();
+    return v;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig4_pipeline_walkthrough", argc, argv);
+    h.manifest().app = "hmmsearch";
+    h.manifest().scale = apps::toString(apps::Scale::Small);
+    h.manifest().seed = 5;
+    h.manifest().platform = "2-wide OoO, 3-cycle L1";
+
     std::printf("=== Figures 3/4: pipeline walkthrough of the "
                 "hmmsearch inner loop (2-wide, 3-cycle L1) ===\n\n");
-    walkthrough(apps::Variant::Baseline,
-                "baseline (Figure 6(a) code): load-to-branch chains");
-    walkthrough(apps::Variant::Transformed,
-                "transformed (Figure 6(c) code): grouped loads + "
-                "conditional moves");
+    const double t0 = bench::now();
+    h.metrics()["baseline"] = walkthrough(
+        apps::Variant::Baseline,
+        "baseline (Figure 6(a) code): load-to-branch chains");
+    h.metrics()["transformed"] = walkthrough(
+        apps::Variant::Transformed,
+        "transformed (Figure 6(c) code): grouped loads + "
+        "conditional moves");
+    h.manifest().addStage("walkthrough", bench::now() - t0);
     std::printf("reading guide: on the baseline, the mispredicted "
                 "branch completes only after its feeding loads (the "
                 "L1 hit latency delays resolution), and the next "
                 "instructions' dispatch jumps by completion + 7; "
                 "the transformed stream shows select (cmov) chains "
                 "and no nearby mispredictions.\n");
-    return 0;
+    return h.finish(true);
 }

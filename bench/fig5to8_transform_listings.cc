@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "apps/app.h"
+#include "harness.h"
 #include "ir/printer.h"
 #include "opt/load_hoist.h"
 #include "opt/pass.h"
@@ -36,23 +37,23 @@ countSelects(const ir::Function &fn)
     return n;
 }
 
-void
+util::json::Value
 listKernel(const char *app_name, apps::Variant v, const char *title,
            uint32_t max_blocks)
 {
     apps::AppRun run =
         apps::findApp(app_name)->make(v, apps::Scale::Small, 5);
     const ir::Function &fn = *run.kernel;
+    const size_t loads = countClass(fn, ir::InstrClass::Load) +
+                         countClass(fn, ir::InstrClass::FpLoad);
+    const size_t stores = countClass(fn, ir::InstrClass::Store) +
+                          countClass(fn, ir::InstrClass::FpStore);
+    const size_t branches = countClass(fn, ir::InstrClass::CondBranch);
+    const size_t cmovs = countSelects(fn);
     std::printf("--- %s ---\n", title);
     std::printf("static: %zu instrs, %zu loads, %zu stores, %zu "
                 "branches, %zu cmovs\n\n",
-                fn.numInstrs(),
-                countClass(fn, ir::InstrClass::Load) +
-                    countClass(fn, ir::InstrClass::FpLoad),
-                countClass(fn, ir::InstrClass::Store) +
-                    countClass(fn, ir::InstrClass::FpStore),
-                countClass(fn, ir::InstrClass::CondBranch),
-                countSelects(fn));
+                fn.numInstrs(), loads, stores, branches, cmovs);
     uint32_t shown = 0;
     for (const auto &bb : fn.blocks) {
         if (shown++ >= max_blocks) {
@@ -66,33 +67,56 @@ listKernel(const char *app_name, apps::Variant v, const char *title,
                         ir::toString(*run.prog, in).c_str());
     }
     std::printf("\n");
+
+    util::json::Value m = util::json::Value::object();
+    m["static_instrs"] = static_cast<uint64_t>(fn.numInstrs());
+    m["loads"] = static_cast<uint64_t>(loads);
+    m["stores"] = static_cast<uint64_t>(stores);
+    m["cond_branches"] = static_cast<uint64_t>(branches);
+    m["cmovs"] = static_cast<uint64_t>(cmovs);
+    return m;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig5to8_transform_listings", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(apps::Scale::Small);
+    h.manifest().seed = 5;
+    const double t0 = bench::now();
+
     std::printf("=== Figures 6/7: hmmsearch P7Viterbi, original vs "
                 "load-scheduled machine code ===\n\n");
-    listKernel("hmmsearch", apps::Variant::Baseline,
-               "Figure 6(a)/7(a): original (per-IF stores, "
-               "load-to-branch chains)", 12);
-    listKernel("hmmsearch", apps::Variant::Transformed,
-               "Figure 6(c)/7(b): transformed (grouped loads, "
-               "conditional moves, single stores)", 12);
+    util::json::Value kernels = util::json::Value::object();
+    util::json::Value hmm = util::json::Value::object();
+    hmm["baseline"] =
+        listKernel("hmmsearch", apps::Variant::Baseline,
+                   "Figure 6(a)/7(a): original (per-IF stores, "
+                   "load-to-branch chains)", 12);
+    hmm["transformed"] =
+        listKernel("hmmsearch", apps::Variant::Transformed,
+                   "Figure 6(c)/7(b): transformed (grouped loads, "
+                   "conditional moves, single stores)", 12);
+    kernels["hmmsearch"] = std::move(hmm);
 
     std::printf("=== Figure 8: predator prdfali, original vs "
                 "transformed ===\n\n");
-    listKernel("predator", apps::Variant::Baseline,
-               "Figure 8(a): va[j] guarded by the pair-list branch",
-               14);
-    listKernel("predator", apps::Variant::Transformed,
-               "Figure 8(b): va[j] hoisted above the FOR loop", 14);
+    util::json::Value pred = util::json::Value::object();
+    pred["baseline"] = listKernel(
+        "predator", apps::Variant::Baseline,
+        "Figure 8(a): va[j] guarded by the pair-list branch", 14);
+    pred["transformed"] = listKernel(
+        "predator", apps::Variant::Transformed,
+        "Figure 8(b): va[j] hoisted above the FOR loop", 14);
+    kernels["predator"] = std::move(pred);
 
     // Figure 5: the compiler's-eye view of the hoisting problem.
     std::printf("=== Figure 5: why the compiler cannot hoist — and "
                 "what region knowledge unlocks ===\n\n");
+    util::json::Value hoisting = util::json::Value::object();
     for (auto mode : { opt::DisambiguationOracle::Mode::Conservative,
                        opt::DisambiguationOracle::Mode::RegionBased }) {
         apps::AppRun run = apps::findApp("hmmsearch")
@@ -104,8 +128,12 @@ main()
             hoisted +=
                 hoist.run(*run.prog, run.prog->function(f)).transformed;
         }
+        const bool conservative =
+            mode == opt::DisambiguationOracle::Mode::Conservative;
+        hoisting[conservative ? "conservative" : "region_based"] =
+            static_cast<uint64_t>(hoisted);
         std::printf("%-44s hoisted %u loads\n",
-                    mode == opt::DisambiguationOracle::Mode::Conservative
+                    conservative
                         ? "conservative disambiguation (the compiler):"
                         : "region-based disambiguation (the programmer):",
                     hoisted);
@@ -116,5 +144,9 @@ main()
                 "ones move; region knowledge (what the manual "
                 "transformation and `restrict` express) unblocks the "
                 "rest, which is the count gap above.\n");
-    return 0;
+
+    h.manifest().addStage("listings", bench::now() - t0);
+    h.metrics()["kernels"] = std::move(kernels);
+    h.metrics()["hoisted_loads"] = std::move(hoisting);
+    return h.finish(true);
 }

@@ -1,0 +1,70 @@
+#ifndef BIOPERF_BENCH_HARNESS_H_
+#define BIOPERF_BENCH_HARNESS_H_
+
+#include <string>
+
+#include "util/metrics.h"
+
+namespace bioperf::bench {
+
+/** Monotonic wall-clock in seconds, for manifest stage timing. */
+double now();
+
+/**
+ * Shared run-report harness for the table/figure regeneration
+ * benches. Each bench keeps printing its existing text tables and, on
+ * finish(), additionally writes a schema-consistent JSON report
+ * ("bioperf.bench.v1"):
+ *
+ *   { "schema":   "bioperf.bench.v1",
+ *     "bench":    <name>,
+ *     "ok":       <verification outcome>,
+ *     "manifest": { bench, app, variant, scale, seed, platform,
+ *                   threads, trace_mode,
+ *                   stages: [{name, wall_seconds, instructions,
+ *                             simulated_mips}] },
+ *     "metrics":  <bench-specific tree> }
+ *
+ * The report goes to BENCH_<name>.json in the working directory, or
+ * wherever a `--json PATH` argument points (any other argv entries
+ * are left for the bench to interpret).
+ *
+ * Usage:
+ *   Harness h("table2_cache", argc, argv);
+ *   h.manifest().app = "suite";
+ *   const double t0 = now();
+ *   ... run, print tables, fill h.metrics() ...
+ *   h.manifest().addStage("characterize", now() - t0, instrs);
+ *   return h.finish(ok);
+ */
+class Harness
+{
+  public:
+    Harness(const std::string &name, int argc = 0,
+            char **argv = nullptr);
+
+    /** Run identity/cost record; benches fill app/scale/etc. */
+    util::RunManifest &manifest() { return manifest_; }
+
+    /** Bench-specific metric tree (a JSON object, initially empty). */
+    util::json::Value &metrics() { return metrics_; }
+
+    /** Where finish() will write the report. */
+    const std::string &jsonPath() const { return path_; }
+
+    /**
+     * Writes the JSON report and prints a one-line footer naming it.
+     * @return process exit code: 0 when @a ok and the write succeeded
+     */
+    int finish(bool ok);
+
+  private:
+    std::string name_;
+    std::string path_;
+    util::RunManifest manifest_;
+    util::json::Value metrics_;
+};
+
+} // namespace bioperf::bench
+
+#endif // BIOPERF_BENCH_HARNESS_H_

@@ -16,6 +16,7 @@
 #include "apps/app.h"
 #include "core/simulator.h"
 #include "cpu/platforms.h"
+#include "harness.h"
 #include "opt/list_schedule.h"
 #include "opt/load_hoist.h"
 #include "util/table.h"
@@ -39,12 +40,19 @@ timeItanium(apps::AppRun &run)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("itanium_restrict_ablation", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(apps::Scale::Small);
+    h.manifest().platform = "itanium2";
+
     std::printf("=== Section 5.1: Itanium 2 — baseline vs "
                 "`restrict` vs manual transformation ===\n\n");
     util::TextTable t({ "program", "restrict speedup",
                         "manual speedup", "manual vs restrict" });
+    util::json::Value per_app = util::json::Value::object();
+    const double t0 = bench::now();
     for (const auto &app : apps::transformableApps()) {
         apps::AppRun base =
             app.make(apps::Variant::Baseline, apps::Scale::Small, 42);
@@ -69,6 +77,13 @@ main()
                                       apps::Scale::Small, 42);
         const double xform_cycles = timeItanium(xform);
 
+        util::json::Value one = util::json::Value::object();
+        one["baseline_cycles"] = base_cycles;
+        one["restrict_cycles"] = restrict_cycles;
+        one["manual_cycles"] = xform_cycles;
+        one["restrict_speedup"] = base_cycles / restrict_cycles;
+        one["manual_speedup"] = base_cycles / xform_cycles;
+        per_app[app.name] = std::move(one);
         t.row()
             .cell(app.name)
             .cellPercent(100.0 * (base_cycles / restrict_cycles - 1.0),
@@ -77,11 +92,14 @@ main()
             .cellPercent(
                 100.0 * (restrict_cycles / xform_cycles - 1.0), 1);
     }
+    h.manifest().addStage("ablation", bench::now() - t0);
     std::printf("%s\n", t.str().c_str());
     std::printf("paper shape: with restrict, the baseline recovers "
                 "much of the manual transformation's benefit on the "
                 "in-order machine (the last column shrinks toward "
                 "0%%); without it the compiler's speculative loads "
                 "pay recovery costs the manual code avoids.\n");
-    return 0;
+
+    h.metrics()["apps"] = std::move(per_app);
+    return h.finish(true);
 }

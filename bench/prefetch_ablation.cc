@@ -13,6 +13,7 @@
 #include "apps/app.h"
 #include "core/simulator.h"
 #include "cpu/platforms.h"
+#include "harness.h"
 #include "opt/prefetch.h"
 #include "util/table.h"
 
@@ -31,7 +32,7 @@ timeOnAlpha(apps::AppRun &run)
     return res.cycles;
 }
 
-void
+util::json::Value
 evaluate(const char *app_name)
 {
     util::TextTable t({ "configuration", "prefetches inserted",
@@ -42,6 +43,9 @@ evaluate(const char *app_name)
     t.row().cell("baseline").cell(uint64_t(0)).cell(base_cycles)
         .cell("-");
 
+    util::json::Value node = util::json::Value::object();
+    node["baseline_cycles"] = base_cycles;
+    util::json::Value points = util::json::Value::array();
     for (uint32_t distance : { 4u, 16u, 64u }) {
         apps::AppRun run = apps::findApp(app_name)->make(
             apps::Variant::Baseline, apps::Scale::Medium, 42);
@@ -52,6 +56,13 @@ evaluate(const char *app_name)
                 pass.run(*run.prog, run.prog->function(f)).transformed;
         run.prog->renumber();
         const uint64_t cycles = timeOnAlpha(run);
+        util::json::Value pt = util::json::Value::object();
+        pt["distance"] = static_cast<uint64_t>(distance);
+        pt["prefetches_inserted"] = static_cast<uint64_t>(inserted);
+        pt["cycles"] = cycles;
+        pt["speedup"] = static_cast<double>(base_cycles) /
+                        static_cast<double>(cycles);
+        points.push(std::move(pt));
         t.row()
             .cell("prefetch, distance " + std::to_string(distance))
             .cell(static_cast<uint64_t>(inserted))
@@ -63,22 +74,34 @@ evaluate(const char *app_name)
                 1);
     }
     std::printf("--- %s ---\n%s\n", app_name, t.str().c_str());
+    node["prefetch"] = std::move(points);
+    return node;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("prefetch_ablation", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(apps::Scale::Medium);
+    h.manifest().platform = "alpha21264";
+
     std::printf("=== Ablation: software prefetching on memory-bound "
                 "vs L1-resident codes (Alpha 21264) ===\n\n");
-    evaluate("megamerger-like");
-    evaluate("hmmsearch");
+    const double t0 = bench::now();
+    util::json::Value per_app = util::json::Value::object();
+    per_app["megamerger-like"] = evaluate("megamerger-like");
+    per_app["hmmsearch"] = evaluate("hmmsearch");
+    h.manifest().addStage("ablation", bench::now() - t0);
     std::printf("expected shape: large gains on the streaming merge "
                 "(its load latency is miss latency), nothing but "
                 "instruction overhead on hmmsearch (its loads already "
                 "hit in L1 — the paper's whole point). The paper's "
                 "transformation and prefetching are orthogonal cures "
                 "for orthogonal diseases.\n");
-    return 0;
+
+    h.metrics()["apps"] = std::move(per_app);
+    return h.finish(true);
 }

@@ -21,7 +21,6 @@
  *   ./bench/sim_throughput [small] [reps]
  */
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +29,7 @@
 #include "apps/app.h"
 #include "cpu/ooo_core.h"
 #include "cpu/platforms.h"
+#include "harness.h"
 #include "profile/cache_profiler.h"
 #include "profile/instruction_mix.h"
 #include "profile/load_branch.h"
@@ -40,6 +40,8 @@
 using namespace bioperf;
 
 namespace {
+
+using bench::now;
 
 struct Measurement
 {
@@ -55,15 +57,6 @@ struct Measurement
             : static_cast<double>(instructions) / seconds / 1e6;
     }
 };
-
-double
-now()
-{
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(
-               clock::now().time_since_epoch())
-        .count();
-}
 
 /**
  * Runs every app in @a list with the given sinks attached. Each app
@@ -133,6 +126,10 @@ main(int argc, char **argv)
     const int reps =
         argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
 
+    bench::Harness h("sim_throughput", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(scale);
+
     // A representative slice of the suite: the headline integer
     // kernel, an alignment code, and an FP-heavy phylogeny code.
     std::vector<apps::AppInfo> list;
@@ -169,28 +166,20 @@ main(int argc, char **argv)
     std::printf("batched over per-instruction: characterize %.2fx, "
                 "timing %.2fx\n", char_speedup, timing_speedup);
 
-    FILE *f = std::fopen("BENCH_sim_throughput.json", "w");
-    if (!f) {
-        std::printf("cannot write BENCH_sim_throughput.json\n");
-        return 1;
+    util::json::Value runs = util::json::Value::array();
+    for (const auto &m : ms) {
+        h.manifest().addStage(m.mode + "/" + m.delivery, m.seconds,
+                              m.instructions);
+        util::json::Value one = util::json::Value::object();
+        one["mode"] = m.mode;
+        one["delivery"] = m.delivery;
+        one["instructions"] = m.instructions;
+        one["seconds"] = m.seconds;
+        one["mips"] = m.mips();
+        runs.push(std::move(one));
     }
-    std::fprintf(f, "{\n  \"scale\": \"%s\",\n  \"runs\": [\n",
-                 scale == apps::Scale::Small ? "small" : "medium");
-    for (size_t i = 0; i < ms.size(); i++) {
-        const auto &m = ms[i];
-        std::fprintf(f,
-                     "    {\"mode\": \"%s\", \"delivery\": \"%s\", "
-                     "\"instructions\": %llu, \"seconds\": %.6f, "
-                     "\"mips\": %.3f}%s\n",
-                     m.mode.c_str(), m.delivery.c_str(),
-                     static_cast<unsigned long long>(m.instructions),
-                     m.seconds, m.mips(), i + 1 < ms.size() ? "," : "");
-    }
-    std::fprintf(f,
-                 "  ],\n  \"characterize_speedup\": %.3f,\n"
-                 "  \"timing_speedup\": %.3f\n}\n",
-                 char_speedup, timing_speedup);
-    std::fclose(f);
-    std::printf("wrote BENCH_sim_throughput.json\n");
-    return 0;
+    h.metrics()["runs"] = std::move(runs);
+    h.metrics()["characterize_speedup"] = char_speedup;
+    h.metrics()["timing_speedup"] = timing_speedup;
+    return h.finish(true);
 }

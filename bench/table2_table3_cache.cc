@@ -12,14 +12,21 @@
 
 #include "apps/app.h"
 #include "core/simulator.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bioperf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table2_table3_cache", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(apps::Scale::Medium);
+    h.manifest().threads = util::ThreadPool::defaultThreads();
+
     const auto reference = mem::CacheHierarchy::referenceConfig();
     std::printf("=== Table 3: modeled cache subsystem ===\n\n");
     util::TextTable t3({ "level", "size", "assoc", "block",
@@ -62,26 +69,34 @@ main()
         job.seed = 42;
         jobs.push_back(job);
     }
+    const double t0 = bench::now();
     const auto results = core::Simulator::characterizeSweep(jobs);
+    uint64_t total_instrs = 0;
+    for (const auto &res : results)
+        total_instrs += res.instructions;
+    h.manifest().addStage("characterize_sweep", bench::now() - t0,
+                          total_instrs);
 
+    util::json::Value per_app = util::json::Value::object();
     for (size_t i = 0; i < apps_list.size(); i++) {
         const auto &app = apps_list[i];
         const auto &res = results[i];
         if (!res.verified) {
             std::printf("VERIFICATION FAILED for %s\n",
                         app.name.c_str());
-            return 1;
+            return h.finish(false);
         }
+        per_app[app.name] = res.cache.report();
         t2.row()
             .cell(app.name)
-            .cellPercent(100.0 * res.cache->l1LocalMissRate(), 2)
-            .cellPercent(100.0 * res.cache->l2LocalMissRate(), 2)
-            .cellPercent(100.0 * res.cache->overallMissRate(), 3)
-            .cell(res.cache->amat(), 2);
-        l1s.push_back(100.0 * res.cache->l1LocalMissRate());
-        l2s.push_back(100.0 * res.cache->l2LocalMissRate());
-        alls.push_back(100.0 * res.cache->overallMissRate());
-        amats.push_back(res.cache->amat());
+            .cellPercent(100.0 * res.cache.l1LocalMissRate, 2)
+            .cellPercent(100.0 * res.cache.l2LocalMissRate, 2)
+            .cellPercent(100.0 * res.cache.overallMissRate, 3)
+            .cell(res.cache.amat, 2);
+        l1s.push_back(100.0 * res.cache.l1LocalMissRate);
+        l2s.push_back(100.0 * res.cache.l2LocalMissRate);
+        alls.push_back(100.0 * res.cache.overallMissRate);
+        amats.push_back(res.cache.amat);
     }
     t2.row()
         .cell("average")
@@ -92,5 +107,10 @@ main()
     std::printf("%s\n", t2.str().c_str());
     std::printf("paper shape: caches satisfy almost all loads; AMAT "
                 "~= the 3-cycle L1 hit latency (3.02-3.14)\n");
-    return 0;
+
+    h.metrics()["apps"] = std::move(per_app);
+    h.metrics()["average_l1_local_miss_rate"] =
+        util::arithmeticMean(l1s) / 100.0;
+    h.metrics()["average_amat"] = util::arithmeticMean(amats);
+    return h.finish(true);
 }

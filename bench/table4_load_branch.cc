@@ -14,18 +14,26 @@
 
 #include "apps/app.h"
 #include "core/simulator.h"
+#include "harness.h"
 #include "util/table.h"
 
 using namespace bioperf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table4_load_branch", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(apps::Scale::Medium);
+
     std::printf("=== Table 4(a): load-to-branch sequences / (b): "
                 "loads after hard branches ===\n\n");
     util::TextTable t({ "program", "load to branch",
                         "avg branch mispredict",
                         "load chain after hard branch" });
+    util::json::Value per_app = util::json::Value::object();
+    uint64_t total_instrs = 0;
+    const double t0 = bench::now();
     for (const auto &app : apps::bioperfApps()) {
         apps::AppRun run =
             app.make(apps::Variant::Baseline, apps::Scale::Medium, 42);
@@ -33,16 +41,17 @@ main()
         if (!res.verified) {
             std::printf("VERIFICATION FAILED for %s\n",
                         app.name.c_str());
-            return 1;
+            return h.finish(false);
         }
+        total_instrs += res.instructions;
+        per_app[app.name] = res.loadBranch.report();
         t.row()
             .cell(app.name)
-            .cellPercent(
-                100.0 * res.loadBranch->loadToBranchFraction(), 1)
-            .cellPercent(100.0 * res.loadBranch->ltbBranchMissRate(),
+            .cellPercent(100.0 * res.loadBranch.loadToBranchFraction,
                          1)
+            .cellPercent(100.0 * res.loadBranch.ltbBranchMissRate, 1)
             .cellPercent(
-                100.0 * res.loadBranch->loadAfterHardBranchFraction(),
+                100.0 * res.loadBranch.loadAfterHardBranchFraction,
                 1);
     }
     std::printf("%s\n", t.str().c_str());
@@ -52,5 +61,9 @@ main()
     std::printf("metric definitions: chain window 32 instructions, "
                 "after-branch window 8, tight-consumer window 2, "
                 "hard threshold 5%% (DESIGN.md section 3)\n");
-    return 0;
+
+    h.manifest().addStage("characterize", bench::now() - t0,
+                          total_instrs);
+    h.metrics()["apps"] = std::move(per_app);
+    return h.finish(true);
 }

@@ -15,13 +15,38 @@
 
 #include "apps/app.h"
 #include "core/candidate_finder.h"
+#include "harness.h"
 #include "util/table.h"
 
 using namespace bioperf;
 
-int
-main()
+namespace {
+
+util::json::Value
+loadEntry(const profile::PerLoadProfiler::Entry &e)
 {
+    util::json::Value v = util::json::Value::object();
+    v["sid"] = static_cast<uint64_t>(e.sid);
+    v["frequency"] = e.frequency;
+    v["l1_miss_rate"] = e.l1MissRate();
+    v["next_branch_miss_rate"] = e.nextBranchMissRate();
+    v["array"] = e.region;
+    v["function"] = e.function;
+    v["line"] = static_cast<int64_t>(e.line);
+    v["file"] = e.file;
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Harness h("table5_hot_loads", argc, argv);
+    h.manifest().app = "hmmsearch";
+    h.manifest().scale = apps::toString(apps::Scale::Medium);
+
+    const double t0 = bench::now();
     apps::AppRun run = apps::findApp("hmmsearch")
                            ->make(apps::Variant::Baseline,
                                   apps::Scale::Medium, 42);
@@ -33,7 +58,9 @@ main()
                         "branch mispredict", "array", "in function",
                         "line", "in file" });
     const auto top = finder.profileLoads(run, 12);
+    util::json::Value hot = util::json::Value::array();
     for (const auto &e : top) {
+        hot.push(loadEntry(e));
         t.row()
             .cell(static_cast<uint64_t>(e.sid))
             .cellPercent(100.0 * e.frequency, 2)
@@ -50,7 +77,9 @@ main()
                 "(frequent + hard following branch) ===\n\n");
     util::TextTable c({ "array", "line", "frequency",
                         "branch mispredict" });
+    util::json::Value cands = util::json::Value::array();
     for (const auto &e : finder.findCandidates(run)) {
+        cands.push(loadEntry(e));
         c.row()
             .cell(e.region)
             .cell(static_cast<int64_t>(e.line))
@@ -61,5 +90,9 @@ main()
     std::printf("paper shape: the candidates are the box-1 loads of "
                 "the P7Viterbi loop (lines 132-136), rarely missing "
                 "in L1, guarding hard-to-predict IFs\n");
-    return 0;
+
+    h.manifest().addStage("profile", bench::now() - t0);
+    h.metrics()["hot_loads"] = std::move(hot);
+    h.metrics()["candidates"] = std::move(cands);
+    return h.finish(true);
 }

@@ -13,22 +13,47 @@
 #include <cstdio>
 
 #include "core/transform_pipeline.h"
+#include "harness.h"
 #include "util/table.h"
 
 using namespace bioperf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table6_transform_footprint", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(apps::Scale::Small);
+
+    const double t0 = bench::now();
     const auto reports =
         core::TransformPipeline::analyzeAll(apps::Scale::Small, 42);
+    h.manifest().addStage("analyze", bench::now() - t0);
 
     std::printf("=== Table 6: static loads and source lines involved "
                 "in the load transformation ===\n\n");
     util::TextTable t({ "program", "tagged loads in hot region",
                         "lines involved", "static instrs base->xform",
                         "static branches base->xform", "equivalent" });
+    bool all_ok = true;
+    util::json::Value per_app = util::json::Value::object();
     for (const auto &r : reports) {
+        const bool ok = r.baselineVerified && r.transformedVerified;
+        all_ok = all_ok && ok;
+        util::json::Value one = util::json::Value::object();
+        one["static_loads_considered"] =
+            static_cast<uint64_t>(r.staticLoadsConsidered);
+        one["lines_involved"] = static_cast<uint64_t>(r.linesInvolved);
+        one["baseline_static_instrs"] =
+            static_cast<uint64_t>(r.baselineStaticInstrs);
+        one["transformed_static_instrs"] =
+            static_cast<uint64_t>(r.transformedStaticInstrs);
+        one["baseline_static_branches"] =
+            static_cast<uint64_t>(r.baselineStaticBranches);
+        one["transformed_static_branches"] =
+            static_cast<uint64_t>(r.transformedStaticBranches);
+        one["equivalent"] = ok;
+        per_app[r.app] = std::move(one);
         t.row()
             .cell(r.app)
             .cell(static_cast<uint64_t>(r.staticLoadsConsidered))
@@ -45,5 +70,7 @@ main()
                 "(1 load / 5 lines), the hmmer codes the largest "
                 "(14-19 loads / 25-30 lines); every transformed "
                 "kernel is bit-equivalent to its baseline\n");
-    return 0;
+
+    h.metrics()["apps"] = std::move(per_app);
+    return h.finish(all_ok);
 }

@@ -22,8 +22,10 @@
 #include "apps/app.h"
 #include "core/simulator.h"
 #include "cpu/platforms.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bioperf;
 
@@ -35,6 +37,11 @@ main(int argc, char **argv)
     apps::Scale scale = apps::Scale::Medium;
     if (argc > 1 && std::string(argv[1]) == "small")
         scale = apps::Scale::Small;
+
+    bench::Harness h("table8_fig9_speedup", argc, argv);
+    h.manifest().app = "suite";
+    h.manifest().scale = apps::toString(scale);
+    h.manifest().threads = util::ThreadPool::defaultThreads();
 
     const auto platforms = cpu::evaluationPlatforms();
     const auto apps_list = apps::transformableApps();
@@ -57,7 +64,13 @@ main(int argc, char **argv)
             }
         }
     }
+    const double t0 = bench::now();
     const auto results = core::Simulator::sweep(jobs);
+    uint64_t total_instrs = 0;
+    for (const auto &r : results)
+        total_instrs += r.instructions;
+    h.manifest().addStage("timing_sweep", bench::now() - t0,
+                          total_instrs);
 
     std::vector<std::string> time_headers = { "program", "version" };
     for (const auto &p : platforms)
@@ -70,16 +83,18 @@ main(int argc, char **argv)
     util::TextTable fig9(sp_headers);
 
     std::map<std::string, std::vector<double>> speedups;
+    util::json::Value per_app = util::json::Value::object();
     size_t j = 0;
     for (const auto &app : apps_list) {
         std::vector<double> base_s, xform_s, sp;
+        util::json::Value app_node = util::json::Value::object();
         for (const auto &platform : platforms) {
             const core::TimingResult &tb = results[j++];
             const core::TimingResult &tx = results[j++];
             if (!tb.verified || !tx.verified) {
                 std::printf("VERIFICATION FAILED for %s on %s\n",
                             app.name.c_str(), platform.name.c_str());
-                return 1;
+                return h.finish(false);
             }
             const double s = tx.cycles == 0
                 ? 0.0
@@ -89,7 +104,13 @@ main(int argc, char **argv)
             xform_s.push_back(tx.seconds);
             sp.push_back(s);
             speedups[platform.name].push_back(s);
+            util::json::Value cell = util::json::Value::object();
+            cell["baseline"] = tb.report();
+            cell["transformed"] = tx.report();
+            cell["speedup"] = s;
+            app_node[platform.name] = std::move(cell);
         }
+        per_app[app.name] = std::move(app_node);
         t8.row().cell(app.name).cell("original");
         for (double s : base_s)
             t8.cell(s * 1e3, 3);
@@ -105,7 +126,9 @@ main(int argc, char **argv)
     std::printf("=== Table 8: simulated runtime in milliseconds "
                 "(synthetic inputs; the paper reports seconds on "
                 "class-C) ===\n\n%s\n", t8.str().c_str());
+    util::json::Value hmeans = util::json::Value::object();
     for (const auto &p : platforms) {
+        hmeans[p.name] = util::harmonicMean(speedups[p.name]);
         fig9.cellPercent(
             100.0 * (util::harmonicMean(speedups[p.name]) - 1.0), 1);
     }
@@ -116,5 +139,8 @@ main(int argc, char **argv)
                 "Itanium 2; hmmsearch largest everywhere; predator "
                 "and clustalw marginal; dnapenny n.a. on Itanium in "
                 "the paper (did not compile there).\n");
-    return 0;
+
+    h.metrics()["apps"] = std::move(per_app);
+    h.metrics()["harmonic_mean_speedup"] = std::move(hmeans);
+    return h.finish(true);
 }

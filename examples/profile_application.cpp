@@ -41,16 +41,15 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(res.instructions),
                 res.verified ? "yes" : "NO");
     std::printf("load fraction         : %.1f%%\n",
-                100.0 * res.mix->loadFraction());
+                100.0 * res.mix.loadFraction);
     std::printf("static loads for 90%%  : %zu\n",
-                res.coverage->loadsForCoverage(0.9));
+                res.coverage.loadsFor90);
     std::printf("L1 miss rate (loads)  : %.2f%%   AMAT: %.2f cycles\n",
-                100.0 * res.cache->l1LocalMissRate(),
-                res.cache->amat());
+                100.0 * res.cache.l1LocalMissRate, res.cache.amat);
     std::printf("load-to-branch loads  : %.1f%%, their branches "
                 "mispredict %.1f%%\n\n",
-                100.0 * res.loadBranch->loadToBranchFraction(),
-                100.0 * res.loadBranch->ltbBranchMissRate());
+                100.0 * res.loadBranch.loadToBranchFraction,
+                100.0 * res.loadBranch.ltbBranchMissRate);
 
     // Step 2: per-load profile (the Table 5 view).
     core::CandidateFinder finder;

@@ -50,9 +50,10 @@ main(int argc, char **argv)
 
     // 2. The speedup on the paper's reference machine.
     const auto alpha = cpu::alpha21264();
-    core::TimingResult tb, tx;
-    const double sp = core::Simulator::speedup(
-        *app, alpha, apps::Scale::Small, 9, &tb, &tx);
+    const core::SpeedupResult sp = core::Simulator::speedup(
+        *app, alpha, apps::Scale::Small, 9);
+    const core::TimingResult &tb = sp.baseline;
+    const core::TimingResult &tx = sp.transformed;
     std::printf("Alpha 21264 (3-cycle L1 hit):\n");
     std::printf("  original        : %llu cycles  (IPC %.2f, "
                 "%llu mispredicts)\n",
@@ -62,7 +63,8 @@ main(int argc, char **argv)
                 "%llu mispredicts)\n",
                 static_cast<unsigned long long>(tx.cycles), tx.ipc,
                 static_cast<unsigned long long>(tx.mispredicts));
-    std::printf("  speedup         : %.1f%%\n\n", 100.0 * (sp - 1.0));
+    std::printf("  speedup         : %.1f%%\n\n",
+                100.0 * (sp.speedup - 1.0));
 
     // 3. How far automatic hoisting gets, by oracle strength.
     for (auto mode : { opt::DisambiguationOracle::Mode::Conservative,

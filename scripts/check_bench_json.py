@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validate emitted BENCH_*.json / bioperfsim --json reports.
+
+Stdlib-only CI gate: every report must parse as JSON, carry the
+expected schema tag, declare ok=true, and contain the full manifest
+(all nine keys, stages with wall time / instructions / simulated
+MIPS). Usage:
+
+    check_bench_json.py FILE [FILE ...]
+"""
+import json
+import sys
+
+MANIFEST_KEYS = (
+    "bench", "app", "variant", "scale", "seed", "platform",
+    "threads", "trace_mode", "stages",
+)
+STAGE_KEYS = ("name", "wall_seconds", "instructions", "simulated_mips")
+SCHEMAS = ("bioperf.bench.v1", "bioperf.run.v1")
+
+
+def check(path: str) -> list:
+    errors = []
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"unreadable or invalid JSON: {e}"]
+
+    if report.get("schema") not in SCHEMAS:
+        errors.append(f"bad schema tag: {report.get('schema')!r}")
+    if "bench" not in report and "command" not in report:
+        errors.append("missing 'bench'/'command' identity key")
+    if report.get("ok") is not True:
+        errors.append(f"ok is {report.get('ok')!r}, expected true")
+
+    manifest = report.get("manifest")
+    if not isinstance(manifest, dict):
+        errors.append("missing manifest object")
+        return errors
+    for key in MANIFEST_KEYS:
+        if key not in manifest:
+            errors.append(f"manifest missing key: {key}")
+    stages = manifest.get("stages", [])
+    if not isinstance(stages, list):
+        errors.append("manifest.stages is not a list")
+    else:
+        for i, stage in enumerate(stages):
+            for key in STAGE_KEYS:
+                if key not in stage:
+                    errors.append(f"stages[{i}] missing key: {key}")
+    if not isinstance(report.get("metrics"), dict):
+        errors.append("missing metrics object")
+    return errors
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_bench_json.py FILE [FILE ...]")
+        return 2
+    failed = 0
+    for path in argv:
+        errors = check(path)
+        if errors:
+            failed += 1
+            for e in errors:
+                print(f"FAIL {path}: {e}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

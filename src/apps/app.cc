@@ -89,4 +89,23 @@ specLikeApps()
     return apps;
 }
 
+const char *
+toString(Variant v)
+{
+    return v == Variant::Transformed ? "transformed" : "baseline";
+}
+
+const char *
+toString(Scale s)
+{
+    switch (s) {
+    case Scale::Small:
+        return "small";
+    case Scale::Large:
+        return "large";
+    default:
+        return "medium";
+    }
+}
+
 } // namespace bioperf::apps

@@ -30,6 +30,11 @@ enum class Variant : uint8_t {
  */
 enum class Scale : uint8_t { Small, Medium, Large };
 
+/** Manifest-stable names: "baseline"/"transformed". */
+const char *toString(Variant v);
+/** Manifest-stable names: "small"/"medium"/"large". */
+const char *toString(Scale s);
+
 /**
  * A fully prepared application run: the program, its kernel function,
  * a host driver that supplies inputs and invokes the kernel over the

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace bioperf::branch {
 
 namespace detail {
@@ -35,7 +37,7 @@ counterTrain(uint8_t c, bool taken)
  * accuracy statistics are collected in the base class so Table 4's
  * per-sequence misprediction rates can be derived.
  */
-class BranchPredictor
+class BranchPredictor : public util::Reportable
 {
   public:
     virtual ~BranchPredictor() = default;
@@ -70,6 +72,8 @@ class BranchPredictor
     uint64_t totalExecutions() const { return total_exec_; }
     uint64_t totalMispredictions() const { return total_miss_; }
     double overallMissRate() const;
+
+    util::json::Value report() const override;
 
     /**
      * Direct access to the prediction/training machinery without the

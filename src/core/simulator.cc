@@ -14,20 +14,64 @@ CharacterizationResult
 Simulator::characterize(apps::AppRun &run)
 {
     CharacterizationResult res;
-    res.mix = std::make_unique<profile::InstructionMixProfiler>();
-    res.coverage = std::make_unique<profile::LoadCoverageProfiler>();
-    res.cache = std::make_unique<profile::CacheProfiler>();
-    res.loadBranch = std::make_unique<profile::LoadBranchProfiler>();
+    res.mixProfiler =
+        std::make_unique<profile::InstructionMixProfiler>();
+    res.coverageProfiler =
+        std::make_unique<profile::LoadCoverageProfiler>();
+    res.cacheProfiler = std::make_unique<profile::CacheProfiler>();
+    res.loadBranchProfiler =
+        std::make_unique<profile::LoadBranchProfiler>();
 
     vm::Interpreter interp(*run.prog);
-    interp.addSink(res.mix.get());
-    interp.addSink(res.coverage.get());
-    interp.addSink(res.cache.get());
-    interp.addSink(res.loadBranch.get());
+    interp.addSink(res.mixProfiler.get());
+    interp.addSink(res.coverageProfiler.get());
+    interp.addSink(res.cacheProfiler.get());
+    interp.addSink(res.loadBranchProfiler.get());
     run.driver(interp);
     res.instructions = interp.totalInstrs();
     res.verified = run.verify();
+    res.mix = res.mixProfiler->summary();
+    res.coverage = res.coverageProfiler->summary();
+    res.cache = res.cacheProfiler->summary();
+    res.loadBranch = res.loadBranchProfiler->summary();
     return res;
+}
+
+util::json::Value
+CharacterizationResult::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["instructions"] = instructions;
+    v["verified"] = verified;
+    v["mix"] = mix.report();
+    v["coverage"] = coverage.report();
+    v["cache"] = cache.report();
+    v["load_branch"] = loadBranch.report();
+    return v;
+}
+
+util::json::Value
+TimingResult::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["cycles"] = cycles;
+    v["instructions"] = instructions;
+    v["mispredicts"] = mispredicts;
+    v["ipc"] = ipc;
+    v["seconds"] = seconds;
+    v["verified"] = verified;
+    return v;
+}
+
+util::json::Value
+SpeedupResult::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["baseline"] = baseline.report();
+    v["transformed"] = transformed.report();
+    v["speedup"] = speedup;
+    v["verified"] = verified();
+    return v;
 }
 
 TimingResult
@@ -140,28 +184,29 @@ Simulator::characterizeSweep(const std::vector<CharacterizeJob> &jobs,
         jobs, threads, runCharacterizeJob);
 }
 
-double
+SpeedupResult
 Simulator::speedup(const apps::AppInfo &app,
                    const cpu::PlatformConfig &platform,
-                   apps::Scale scale, uint64_t seed,
-                   TimingResult *baseline_out,
-                   TimingResult *transformed_out)
+                   apps::Scale scale, uint64_t seed, unsigned threads)
 {
-    apps::AppRun base = app.make(apps::Variant::Baseline, scale, seed);
-    apps::AppRun xform =
-        app.make(apps::Variant::Transformed, scale, seed);
-    applyRegisterPressure(base, platform);
-    applyRegisterPressure(xform, platform);
-    const TimingResult tb = time(base, platform);
-    const TimingResult tx = time(xform, platform);
-    if (baseline_out)
-        *baseline_out = tb;
-    if (transformed_out)
-        *transformed_out = tx;
-    return tx.cycles == 0
-               ? 0.0
-               : static_cast<double>(tb.cycles) /
-                     static_cast<double>(tx.cycles);
+    std::vector<SweepJob> jobs(2);
+    jobs[0].app = &app;
+    jobs[0].platform = platform;
+    jobs[0].variant = apps::Variant::Baseline;
+    jobs[0].scale = scale;
+    jobs[0].seed = seed;
+    jobs[1] = jobs[0];
+    jobs[1].variant = apps::Variant::Transformed;
+    std::vector<TimingResult> timed = sweep(jobs, threads);
+
+    SpeedupResult res;
+    res.baseline = timed[0];
+    res.transformed = timed[1];
+    res.speedup = res.transformed.cycles == 0
+                      ? 0.0
+                      : static_cast<double>(res.baseline.cycles) /
+                            static_cast<double>(res.transformed.cycles);
+    return res;
 }
 
 } // namespace bioperf::core

@@ -10,6 +10,7 @@
 #include "profile/instruction_mix.h"
 #include "profile/load_branch.h"
 #include "profile/load_coverage.h"
+#include "util/metrics.h"
 
 namespace bioperf::core {
 
@@ -18,15 +19,29 @@ namespace bioperf::core {
  * ATOM-equivalent): instruction mix, static-load coverage, cache
  * behaviour and load/branch sequence analysis, all collected in a
  * single interpretation of the workload.
+ *
+ * Common reads go through the value-type summaries (filled by
+ * characterize() from the profilers at run end); the profiler objects
+ * stay attached for deep dives — per-sid counts, full CDFs, the
+ * embedded predictor — without consumers rebuilding the run.
  */
 struct CharacterizationResult
 {
-    std::unique_ptr<profile::InstructionMixProfiler> mix;
-    std::unique_ptr<profile::LoadCoverageProfiler> coverage;
-    std::unique_ptr<profile::CacheProfiler> cache;
-    std::unique_ptr<profile::LoadBranchProfiler> loadBranch;
+    profile::MixSummary mix;
+    profile::CoverageSummary coverage;
+    profile::CacheSummary cache;
+    profile::LoadBranchSummary loadBranch;
     uint64_t instructions = 0;
     bool verified = false;
+
+    /** Deep-dive access to the full profilers (always non-null). */
+    std::unique_ptr<profile::InstructionMixProfiler> mixProfiler;
+    std::unique_ptr<profile::LoadCoverageProfiler> coverageProfiler;
+    std::unique_ptr<profile::CacheProfiler> cacheProfiler;
+    std::unique_ptr<profile::LoadBranchProfiler> loadBranchProfiler;
+
+    /** Full metric tree: summaries plus instruction count/verify. */
+    util::json::Value report() const;
 };
 
 /** Results of one timing simulation on a platform. */
@@ -38,6 +53,24 @@ struct TimingResult
     double ipc = 0.0;
     double seconds = 0.0;
     bool verified = false;
+
+    util::json::Value report() const;
+};
+
+/** Result of one baseline-vs-transformed speedup comparison. */
+struct SpeedupResult
+{
+    TimingResult baseline;
+    TimingResult transformed;
+    /** baseline.cycles / transformed.cycles; 0 when undefined. */
+    double speedup = 0.0;
+
+    bool verified() const
+    {
+        return baseline.verified && transformed.verified;
+    }
+
+    util::json::Value report() const;
 };
 
 /**
@@ -95,12 +128,14 @@ class Simulator
      * Convenience: baseline-vs-transformed speedup of @a app on
      * @a platform, as the paper reports it (original time divided by
      * transformed time), with register pressure applied to both.
+     * Implemented as a two-job sweep(); @a threads as there (1 = the
+     * calling thread, the default; 0 = the default pool width).
+     * Results are bit-identical for any thread count.
      */
-    static double speedup(const apps::AppInfo &app,
-                          const cpu::PlatformConfig &platform,
-                          apps::Scale scale, uint64_t seed,
-                          TimingResult *baseline_out = nullptr,
-                          TimingResult *transformed_out = nullptr);
+    static SpeedupResult speedup(const apps::AppInfo &app,
+                                 const cpu::PlatformConfig &platform,
+                                 apps::Scale scale, uint64_t seed,
+                                 unsigned threads = 1);
 
     /**
      * Runs independent timing jobs concurrently on a util::ThreadPool

@@ -138,4 +138,19 @@ InorderCore::seconds() const
     return static_cast<double>(last_complete_) / (config_.clockGhz * 1e9);
 }
 
+util::json::Value
+InorderCore::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["model"] = "in-order";
+    v["core"] = config_.name;
+    v["cycles"] = last_complete_;
+    v["instructions"] = instructions_;
+    v["ipc"] = ipc();
+    v["seconds"] = seconds();
+    v["mispredicts"] = mispredicts_;
+    v["clock_ghz"] = config_.clockGhz;
+    return v;
+}
+
 } // namespace bioperf::cpu

@@ -8,6 +8,7 @@
 #include "cpu/core_config.h"
 #include "cpu/load_accel.h"
 #include "mem/hierarchy.h"
+#include "util/metrics.h"
 #include "vm/trace.h"
 
 namespace bioperf::cpu {
@@ -22,7 +23,7 @@ namespace bioperf::cpu {
  * loads from their uses lets independent work fill the load's latency
  * slots, with no speculative element involved (Section 5.1).
  */
-class InorderCore : public vm::TraceSink
+class InorderCore : public vm::TraceSink, public util::Reportable
 {
   public:
     InorderCore(const CoreConfig &config, mem::CacheHierarchy *caches,
@@ -39,6 +40,8 @@ class InorderCore : public vm::TraceSink
     uint64_t branchMispredictions() const { return mispredicts_; }
 
     const CoreConfig &config() const { return config_; }
+
+    util::json::Value report() const override;
 
     /** Installs a hardware load-latency-hiding unit (borrowed). */
     void setLoadAccelerator(LoadAccelerator *accel) { accel_ = accel; }

@@ -207,4 +207,19 @@ OooCore::seconds() const
     return static_cast<double>(last_retire_) / (config_.clockGhz * 1e9);
 }
 
+util::json::Value
+OooCore::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["model"] = "out-of-order";
+    v["core"] = config_.name;
+    v["cycles"] = last_retire_;
+    v["instructions"] = instructions_;
+    v["ipc"] = ipc();
+    v["seconds"] = seconds();
+    v["mispredicts"] = mispredicts_;
+    v["clock_ghz"] = config_.clockGhz;
+    return v;
+}
+
 } // namespace bioperf::cpu

@@ -9,6 +9,7 @@
 #include "cpu/core_config.h"
 #include "cpu/load_accel.h"
 #include "mem/hierarchy.h"
+#include "util/metrics.h"
 #include "vm/trace.h"
 
 namespace bioperf::cpu {
@@ -52,7 +53,7 @@ struct PipelineTimes
  * instructions; their resource consumption is approximated by the
  * fixed redirect penalty (standard for trace-driven studies).
  */
-class OooCore : public vm::TraceSink
+class OooCore : public vm::TraceSink, public util::Reportable
 {
   public:
     using TraceLog = std::function<void(const vm::DynInstr &,
@@ -76,6 +77,8 @@ class OooCore : public vm::TraceSink
     uint64_t branchMispredictions() const { return mispredicts_; }
 
     const CoreConfig &config() const { return config_; }
+
+    util::json::Value report() const override;
 
     /** Installs a per-instruction observer (Figure 4 walkthrough). */
     void setTraceLog(TraceLog log) { log_ = std::move(log); }

@@ -100,4 +100,26 @@ CacheHierarchy::amat() const
                                 l2LocalMissRate() * lat_.memPenalty);
 }
 
+util::json::Value
+CacheHierarchy::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["demand_accesses"] = demand_accesses_;
+    v["l1_hits"] = l1_.hits();
+    v["l1_misses"] = l1_.misses();
+    v["l2_demand_accesses"] = l2_demand_accesses_;
+    v["l2_demand_misses"] = l2_demand_misses_;
+    v["memory_accesses"] = mem_accesses_;
+    v["l1_local_miss_rate"] = l1LocalMissRate();
+    v["l2_local_miss_rate"] = l2LocalMissRate();
+    v["overall_miss_rate"] = overallMissRate();
+    v["amat"] = amat();
+    util::json::Value lat = util::json::Value::object();
+    lat["l1_hit_latency"] = lat_.l1HitLatency;
+    lat["l2_penalty"] = lat_.l2Penalty;
+    lat["mem_penalty"] = lat_.memPenalty;
+    v["latencies"] = std::move(lat);
+    return v;
+}
+
 } // namespace bioperf::mem

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "mem/cache.h"
+#include "util/metrics.h"
 
 namespace bioperf::mem {
 
@@ -27,7 +28,7 @@ struct LatencyConfig
  * Two-level data cache hierarchy (L1D + unified L2) over an ideal
  * main memory, with write-back traffic propagated downstream.
  */
-class CacheHierarchy
+class CacheHierarchy : public util::Reportable
 {
   public:
     struct Access
@@ -76,6 +77,8 @@ class CacheHierarchy
 
     /** Average memory access time in cycles over all accesses so far. */
     double amat() const;
+
+    util::json::Value report() const override;
 
   private:
     /** Completes an access after the L1 fast path missed. */

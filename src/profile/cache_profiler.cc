@@ -72,4 +72,38 @@ CacheProfiler::amat() const
                (lat.l2Penalty + l2LocalMissRate() * lat.memPenalty);
 }
 
+CacheSummary
+CacheProfiler::summary() const
+{
+    CacheSummary s;
+    s.loads = loads_;
+    s.loadL1Misses = load_l1_misses_;
+    s.loadL2Misses = load_l2_misses_;
+    s.l1LocalMissRate = l1LocalMissRate();
+    s.l2LocalMissRate = l2LocalMissRate();
+    s.overallMissRate = overallMissRate();
+    s.amat = amat();
+    return s;
+}
+
+util::json::Value
+CacheProfiler::report() const
+{
+    return summary().report();
+}
+
+util::json::Value
+CacheSummary::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["loads"] = loads;
+    v["load_l1_misses"] = loadL1Misses;
+    v["load_l2_misses"] = loadL2Misses;
+    v["l1_local_miss_rate"] = l1LocalMissRate;
+    v["l2_local_miss_rate"] = l2LocalMissRate;
+    v["overall_miss_rate"] = overallMissRate;
+    v["amat"] = amat;
+    return v;
+}
+
 } // namespace bioperf::profile

@@ -4,9 +4,24 @@
 #include <cstdint>
 
 #include "mem/hierarchy.h"
+#include "util/metrics.h"
 #include "vm/trace.h"
 
 namespace bioperf::profile {
+
+/** Value-type snapshot of a per-load cache profile (Table 2). */
+struct CacheSummary
+{
+    uint64_t loads = 0;
+    uint64_t loadL1Misses = 0;
+    uint64_t loadL2Misses = 0;
+    double l1LocalMissRate = 0.0;
+    double l2LocalMissRate = 0.0;
+    double overallMissRate = 0.0;
+    double amat = 0.0;
+
+    util::json::Value report() const;
+};
 
 /**
  * Table 2 cache characterization: drives a cache hierarchy with the
@@ -14,7 +29,7 @@ namespace bioperf::profile {
  * paper does ("0.03% of the executed load instructions access main
  * memory").
  */
-class CacheProfiler : public vm::TraceSink
+class CacheProfiler : public vm::TraceSink, public util::Reportable
 {
   public:
     /** Defaults to the Table 3 reference hierarchy. */
@@ -23,6 +38,9 @@ class CacheProfiler : public vm::TraceSink
 
     void onInstr(const vm::DynInstr &di) override;
     void onBatch(const vm::DynInstr *batch, size_t n) override;
+
+    CacheSummary summary() const;
+    util::json::Value report() const override;
 
     uint64_t loads() const { return loads_; }
     uint64_t loadL1Misses() const { return load_l1_misses_; }

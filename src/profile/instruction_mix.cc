@@ -79,4 +79,50 @@ double InstructionMixProfiler::fpFraction() const
 double InstructionMixProfiler::fpLoadFraction() const
 { return frac(fpLoads(), total_); }
 
+MixSummary
+InstructionMixProfiler::summary() const
+{
+    MixSummary s;
+    s.total = total_;
+    s.loads = loads();
+    s.stores = stores();
+    s.condBranches = condBranches();
+    s.other = other();
+    s.fpInstrs = fpInstrs();
+    s.fpLoads = fpLoads();
+    s.loadFraction = loadFraction();
+    s.storeFraction = storeFraction();
+    s.branchFraction = branchFraction();
+    s.otherFraction = otherFraction();
+    s.fpFraction = fpFraction();
+    s.fpLoadFraction = fpLoadFraction();
+    return s;
+}
+
+util::json::Value
+InstructionMixProfiler::report() const
+{
+    return summary().report();
+}
+
+util::json::Value
+MixSummary::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["total"] = total;
+    v["loads"] = loads;
+    v["stores"] = stores;
+    v["cond_branches"] = condBranches;
+    v["other"] = other;
+    v["fp_instrs"] = fpInstrs;
+    v["fp_loads"] = fpLoads;
+    v["load_fraction"] = loadFraction;
+    v["store_fraction"] = storeFraction;
+    v["branch_fraction"] = branchFraction;
+    v["other_fraction"] = otherFraction;
+    v["fp_fraction"] = fpFraction;
+    v["fp_load_fraction"] = fpLoadFraction;
+    return v;
+}
+
 } // namespace bioperf::profile

@@ -4,9 +4,30 @@
 #include <array>
 #include <cstdint>
 
+#include "util/metrics.h"
 #include "vm/trace.h"
 
 namespace bioperf::profile {
+
+/** Value-type snapshot of an instruction-mix profile (Fig 1/Table 1). */
+struct MixSummary
+{
+    uint64_t total = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t condBranches = 0;
+    uint64_t other = 0;
+    uint64_t fpInstrs = 0;
+    uint64_t fpLoads = 0;
+    double loadFraction = 0.0;
+    double storeFraction = 0.0;
+    double branchFraction = 0.0;
+    double otherFraction = 0.0;
+    double fpFraction = 0.0;
+    double fpLoadFraction = 0.0;
+
+    util::json::Value report() const;
+};
 
 /**
  * Counts executed instructions by class (Figure 1) and the
@@ -17,11 +38,15 @@ namespace bioperf::profile {
  * are Br, everything else (ALU, jumps) is "other". Floating-point
  * instructions are FP ALU ops plus FP loads and stores.
  */
-class InstructionMixProfiler : public vm::TraceSink
+class InstructionMixProfiler : public vm::TraceSink,
+                              public util::Reportable
 {
   public:
     void onInstr(const vm::DynInstr &di) override;
     void onBatch(const vm::DynInstr *batch, size_t n) override;
+
+    MixSummary summary() const;
+    util::json::Value report() const override;
 
     uint64_t total() const { return total_; }
     uint64_t loads() const;

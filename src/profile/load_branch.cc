@@ -311,4 +311,33 @@ LoadBranchProfiler::loadAfterHardBranchFraction() const
                      static_cast<double>(total_loads_);
 }
 
+LoadBranchSummary
+LoadBranchProfiler::summary() const
+{
+    LoadBranchSummary s;
+    s.dynamicLoads = total_loads_;
+    s.loadToBranchFraction = loadToBranchFraction();
+    s.ltbBranchMissRate = ltbBranchMissRate();
+    s.loadAfterHardBranchFraction = loadAfterHardBranchFraction();
+    return s;
+}
+
+util::json::Value
+LoadBranchProfiler::report() const
+{
+    return summary().report();
+}
+
+util::json::Value
+LoadBranchSummary::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["dynamic_loads"] = dynamicLoads;
+    v["load_to_branch_fraction"] = loadToBranchFraction;
+    v["ltb_branch_miss_rate"] = ltbBranchMissRate;
+    v["load_after_hard_branch_fraction"] =
+        loadAfterHardBranchFraction;
+    return v;
+}
+
 } // namespace bioperf::profile

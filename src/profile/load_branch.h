@@ -5,9 +5,21 @@
 #include <vector>
 
 #include "branch/predictors.h"
+#include "util/metrics.h"
 #include "vm/trace.h"
 
 namespace bioperf::profile {
+
+/** Value-type snapshot of the Table 4 sequence metrics. */
+struct LoadBranchSummary
+{
+    uint64_t dynamicLoads = 0;
+    double loadToBranchFraction = 0.0;
+    double ltbBranchMissRate = 0.0;
+    double loadAfterHardBranchFraction = 0.0;
+
+    util::json::Value report() const;
+};
 
 /**
  * Detects the two problematic load sequences of Section 2.2 and
@@ -28,7 +40,8 @@ namespace bioperf::profile {
  * Branch behaviour is judged by an embedded hybrid predictor with one
  * entry per static branch (no aliasing), matching the paper's setup.
  */
-class LoadBranchProfiler : public vm::TraceSink
+class LoadBranchProfiler : public vm::TraceSink,
+                           public util::Reportable
 {
   public:
     struct Params
@@ -48,6 +61,9 @@ class LoadBranchProfiler : public vm::TraceSink
     void onRunEnd() override;
 
     uint64_t dynamicLoads() const { return total_loads_; }
+
+    LoadBranchSummary summary() const;
+    util::json::Value report() const override;
 
     /** Table 4(a), column 1: loads in load-to-branch sequences. */
     double loadToBranchFraction() const;

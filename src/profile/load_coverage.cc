@@ -80,6 +80,39 @@ LoadCoverageProfiler::coverageAt(size_t n) const
     return static_cast<double>(cum) / static_cast<double>(total_loads_);
 }
 
+CoverageSummary
+LoadCoverageProfiler::summary(size_t max_cdf_points) const
+{
+    CoverageSummary s;
+    s.dynamicLoads = total_loads_;
+    s.staticLoads = staticLoads();
+    s.loadsFor90 = loadsForCoverage(0.9);
+    s.coverageAt80 = coverageAt(80);
+    s.cdf = cdf(max_cdf_points);
+    return s;
+}
+
+util::json::Value
+LoadCoverageProfiler::report() const
+{
+    return summary().report();
+}
+
+util::json::Value
+CoverageSummary::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["dynamic_loads"] = dynamicLoads;
+    v["static_loads"] = staticLoads;
+    v["loads_for_90pct"] = static_cast<uint64_t>(loadsFor90);
+    v["coverage_at_80"] = coverageAt80;
+    util::json::Value curve = util::json::Value::array();
+    for (double p : cdf)
+        curve.push(p);
+    v["cdf"] = std::move(curve);
+    return v;
+}
+
 size_t
 LoadCoverageProfiler::loadsForCoverage(double fraction) const
 {

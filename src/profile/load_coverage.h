@@ -4,9 +4,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/metrics.h"
 #include "vm/trace.h"
 
 namespace bioperf::profile {
+
+/** Value-type snapshot of a static-load coverage profile (Figure 2). */
+struct CoverageSummary
+{
+    uint64_t dynamicLoads = 0;
+    uint64_t staticLoads = 0;
+    /** Smallest number of static loads covering 90% (paper headline). */
+    size_t loadsFor90 = 0;
+    /** Coverage of the 80 hottest static loads (paper headline). */
+    double coverageAt80 = 0.0;
+    /** Cumulative coverage curve, clipped (see cdf()). */
+    std::vector<double> cdf;
+
+    util::json::Value report() const;
+};
 
 /**
  * Static-load coverage: how much of the dynamic load execution the N
@@ -16,11 +32,15 @@ namespace bioperf::profile {
  * static loads cover >90% of all executed loads, while in SPEC
  * CPU2000 integer codes the same count covers only 10-58%.
  */
-class LoadCoverageProfiler : public vm::TraceSink
+class LoadCoverageProfiler : public vm::TraceSink,
+                             public util::Reportable
 {
   public:
     void onInstr(const vm::DynInstr &di) override;
     void onBatch(const vm::DynInstr *batch, size_t n) override;
+
+    CoverageSummary summary(size_t max_cdf_points = 200) const;
+    util::json::Value report() const override;
 
     uint64_t dynamicLoads() const { return total_loads_; }
     /** Number of distinct static loads that executed at least once. */

@@ -10,7 +10,12 @@
  *   bioperfsim speedup <app> [--platform ...] [--scale ...] [--seed N]
  *   bioperfsim candidates <app> [--scale ...] [--seed N]
  *   bioperfsim dump <app> [--variant base|xform] [--seed N]
+ *
+ * Every metric-bearing command accepts --json <file> to additionally
+ * emit its full result as a machine-readable report (schema
+ * "bioperf.run.v1": run manifest plus the command's metric tree).
  */
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -22,6 +27,7 @@
 #include "core/simulator.h"
 #include "cpu/platforms.h"
 #include "ir/printer.h"
+#include "util/metrics.h"
 #include "util/table.h"
 
 using namespace bioperf;
@@ -36,7 +42,19 @@ struct Options
     apps::Variant variant = apps::Variant::Baseline;
     cpu::PlatformConfig platform = cpu::alpha21264();
     uint64_t seed = 42;
+    /** Worker threads for sweeps (1 = inline, 0 = pool default). */
+    unsigned threads = 1;
+    /** When non-empty, also write the result as JSON to this path. */
+    std::string jsonPath;
 };
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 void
 usage()
@@ -59,7 +77,12 @@ usage()
         "  --platform alpha|ppc|p4|itanium   (default alpha)\n"
         "  --predictor NAME          perfect/static/bimodal/gshare/"
         "local/hybrid\n"
-        "  --seed N                  workload seed (default 42)\n");
+        "  --seed N                  workload seed (default 42)\n"
+        "  --threads N               workers for the speedup sweep\n"
+        "                            (default 1 = inline; 0 = pool\n"
+        "                            default, honours BIOPERF_THREADS)\n"
+        "  --json FILE               also write the result as a JSON\n"
+        "                            report (manifest + metrics)\n");
 }
 
 bool
@@ -107,11 +130,57 @@ parse(int argc, char **argv, Options &opt)
             opt.platform.predictor = next();
         } else if (a == "--seed") {
             opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--threads") {
+            opt.threads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--json") {
+            opt.jsonPath = next();
         } else {
             std::printf("unknown option %s\n", a.c_str());
             return false;
         }
     }
+    return true;
+}
+
+util::RunManifest
+makeManifest(const Options &opt, const apps::AppInfo &app)
+{
+    util::RunManifest m;
+    m.bench = "bioperfsim-" + opt.command;
+    m.app = app.name;
+    m.variant = apps::toString(opt.variant);
+    m.scale = apps::toString(opt.scale);
+    m.seed = opt.seed;
+    m.platform = opt.platform.name;
+    m.threads = opt.threads;
+    return m;
+}
+
+/**
+ * Assembles the "bioperf.run.v1" document and writes it to
+ * opt.jsonPath (no-op when --json was not given).
+ *
+ * @return false only when the write itself failed
+ */
+bool
+writeJsonReport(const Options &opt, bool ok,
+                const util::RunManifest &manifest,
+                util::json::Value metrics)
+{
+    if (opt.jsonPath.empty())
+        return true;
+    util::MetricRegistry reg;
+    reg.set("schema", util::json::Value("bioperf.run.v1"));
+    reg.set("command", util::json::Value(opt.command));
+    reg.set("ok", util::json::Value(ok));
+    reg.set("manifest", manifest.report());
+    reg.set("metrics", std::move(metrics));
+    if (!reg.writeFile(opt.jsonPath)) {
+        std::printf("failed to write %s\n", opt.jsonPath.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", opt.jsonPath.c_str());
     return true;
 }
 
@@ -133,8 +202,12 @@ cmdList()
 int
 cmdCharacterize(const Options &opt, const apps::AppInfo &app)
 {
+    util::RunManifest manifest = makeManifest(opt, app);
+    const double t0 = now();
     apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
     const auto res = core::Simulator::characterize(run);
+    manifest.addStage("characterize", now() - t0, res.instructions);
+
     std::printf("application      : %s (%s)\n", app.name.c_str(),
                 app.area.c_str());
     std::printf("verified         : %s\n",
@@ -143,38 +216,42 @@ cmdCharacterize(const Options &opt, const apps::AppInfo &app)
                 static_cast<unsigned long long>(res.instructions));
     std::printf("loads            : %.1f%%  stores: %.1f%%  "
                 "branches: %.1f%%  fp: %.1f%%\n",
-                100.0 * res.mix->loadFraction(),
-                100.0 * res.mix->storeFraction(),
-                100.0 * res.mix->branchFraction(),
-                100.0 * res.mix->fpFraction());
+                100.0 * res.mix.loadFraction,
+                100.0 * res.mix.storeFraction,
+                100.0 * res.mix.branchFraction,
+                100.0 * res.mix.fpFraction);
     std::printf("static loads     : %llu executed, %zu cover 90%%\n",
                 static_cast<unsigned long long>(
-                    res.coverage->staticLoads()),
-                res.coverage->loadsForCoverage(0.9));
+                    res.coverage.staticLoads),
+                res.coverage.loadsFor90);
     std::printf("cache            : L1 miss %.2f%%, L2 local %.2f%%, "
                 "overall %.3f%%, AMAT %.2f\n",
-                100.0 * res.cache->l1LocalMissRate(),
-                100.0 * res.cache->l2LocalMissRate(),
-                100.0 * res.cache->overallMissRate(),
-                res.cache->amat());
+                100.0 * res.cache.l1LocalMissRate,
+                100.0 * res.cache.l2LocalMissRate,
+                100.0 * res.cache.overallMissRate, res.cache.amat);
     std::printf("load-to-branch   : %.1f%% of loads; those branches "
                 "mispredict %.1f%%\n",
-                100.0 * res.loadBranch->loadToBranchFraction(),
-                100.0 * res.loadBranch->ltbBranchMissRate());
+                100.0 * res.loadBranch.loadToBranchFraction,
+                100.0 * res.loadBranch.ltbBranchMissRate);
     std::printf("after hard branch: %.1f%% of loads\n",
-                100.0 * res.loadBranch->loadAfterHardBranchFraction());
+                100.0 * res.loadBranch.loadAfterHardBranchFraction);
+    if (!writeJsonReport(opt, res.verified, manifest, res.report()))
+        return 1;
     return res.verified ? 0 : 1;
 }
 
 int
 cmdTime(const Options &opt, const apps::AppInfo &app)
 {
+    util::RunManifest manifest = makeManifest(opt, app);
+    const double t0 = now();
     apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
     core::Simulator::applyRegisterPressure(run, opt.platform);
     const auto res = core::Simulator::time(run, opt.platform);
+    manifest.addStage("time", now() - t0, res.instructions);
+
     std::printf("%s (%s) on %s:\n", app.name.c_str(),
-                opt.variant == apps::Variant::Baseline
-                    ? "baseline" : "transformed",
+                apps::toString(opt.variant),
                 opt.platform.name.c_str());
     std::printf("  verified    : %s\n", res.verified ? "yes" : "NO");
     std::printf("  instructions: %llu\n",
@@ -185,6 +262,8 @@ cmdTime(const Options &opt, const apps::AppInfo &app)
                 static_cast<unsigned long long>(res.mispredicts));
     std::printf("  time        : %.6f s at %.3f GHz\n", res.seconds,
                 opt.platform.core.clockGhz);
+    if (!writeJsonReport(opt, res.verified, manifest, res.report()))
+        return 1;
     return res.verified ? 0 : 1;
 }
 
@@ -196,15 +275,22 @@ cmdSpeedup(const Options &opt, const apps::AppInfo &app)
                     app.name.c_str());
         return 1;
     }
-    core::TimingResult tb, tx;
-    const double sp = core::Simulator::speedup(
-        app, opt.platform, opt.scale, opt.seed, &tb, &tx);
+    util::RunManifest manifest = makeManifest(opt, app);
+    const double t0 = now();
+    const core::SpeedupResult r = core::Simulator::speedup(
+        app, opt.platform, opt.scale, opt.seed, opt.threads);
+    manifest.addStage("speedup", now() - t0,
+                      r.baseline.instructions +
+                          r.transformed.instructions);
+
     std::printf("%s on %s: %llu -> %llu cycles, speedup %.1f%%\n",
                 app.name.c_str(), opt.platform.name.c_str(),
-                static_cast<unsigned long long>(tb.cycles),
-                static_cast<unsigned long long>(tx.cycles),
-                100.0 * (sp - 1.0));
-    return tb.verified && tx.verified ? 0 : 1;
+                static_cast<unsigned long long>(r.baseline.cycles),
+                static_cast<unsigned long long>(r.transformed.cycles),
+                100.0 * (r.speedup - 1.0));
+    if (!writeJsonReport(opt, r.verified(), manifest, r.report()))
+        return 1;
+    return r.verified() ? 0 : 1;
 }
 
 int
@@ -214,10 +300,7 @@ cmdCandidates(const Options &opt, const apps::AppInfo &app)
                                 opt.seed);
     core::CandidateFinder finder;
     const auto cands = finder.findCandidates(run);
-    if (cands.empty()) {
-        std::printf("no candidates found\n");
-        return 0;
-    }
+    util::json::Value list = util::json::Value::array();
     util::TextTable t({ "file", "line", "array", "frequency",
                         "branch mispredict" });
     for (const auto &e : cands) {
@@ -227,8 +310,23 @@ cmdCandidates(const Options &opt, const apps::AppInfo &app)
             .cell(e.region)
             .cellPercent(100.0 * e.frequency, 2)
             .cellPercent(100.0 * e.nextBranchMissRate(), 1);
+        util::json::Value c = util::json::Value::object();
+        c["file"] = e.file;
+        c["line"] = static_cast<int64_t>(e.line);
+        c["array"] = e.region;
+        c["frequency"] = e.frequency;
+        c["next_branch_miss_rate"] = e.nextBranchMissRate();
+        list.push(std::move(c));
     }
-    std::printf("%s", t.str().c_str());
+    if (cands.empty())
+        std::printf("no candidates found\n");
+    else
+        std::printf("%s", t.str().c_str());
+    util::json::Value metrics = util::json::Value::object();
+    metrics["candidates"] = std::move(list);
+    if (!writeJsonReport(opt, true, makeManifest(opt, app),
+                         std::move(metrics)))
+        return 1;
     return 0;
 }
 

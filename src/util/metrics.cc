@@ -1,0 +1,45 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+
+namespace bioperf::util {
+
+bool
+MetricRegistry::writeFile(const std::string &path, int indent) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string text = toJson(indent);
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    const bool closed = std::fclose(f) == 0;
+    return wrote && closed;
+}
+
+json::Value
+RunManifest::report() const
+{
+    json::Value m = json::Value::object();
+    m["bench"] = bench;
+    m["app"] = app;
+    m["variant"] = variant;
+    m["scale"] = scale;
+    m["seed"] = seed;
+    m["platform"] = platform;
+    m["threads"] = threads;
+    m["trace_mode"] = traceMode;
+    json::Value st = json::Value::array();
+    for (const Stage &s : stages) {
+        json::Value e = json::Value::object();
+        e["name"] = s.name;
+        e["wall_seconds"] = s.wallSeconds;
+        e["instructions"] = s.instructions;
+        e["simulated_mips"] = s.simulatedMips();
+        st.push(std::move(e));
+    }
+    m["stages"] = std::move(st);
+    return m;
+}
+
+} // namespace bioperf::util

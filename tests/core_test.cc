@@ -17,10 +17,13 @@ TEST(Simulator, CharacterizeRunsAllProfilersInOnePass)
     const CharacterizationResult res = Simulator::characterize(run);
     EXPECT_TRUE(res.verified);
     EXPECT_GT(res.instructions, 10000u);
-    EXPECT_EQ(res.mix->total(), res.instructions);
-    EXPECT_EQ(res.coverage->dynamicLoads(), res.mix->loads());
-    EXPECT_EQ(res.cache->loads(), res.mix->loads());
-    EXPECT_EQ(res.loadBranch->dynamicLoads(), res.mix->loads());
+    EXPECT_EQ(res.mix.total, res.instructions);
+    EXPECT_EQ(res.coverage.dynamicLoads, res.mix.loads);
+    EXPECT_EQ(res.cache.loads, res.mix.loads);
+    EXPECT_EQ(res.loadBranch.dynamicLoads, res.mix.loads);
+    // The deep-dive profilers stay attached and agree.
+    ASSERT_NE(res.mixProfiler, nullptr);
+    EXPECT_EQ(res.mixProfiler->total(), res.mix.total);
 }
 
 TEST(Simulator, TimeProducesConsistentResults)
@@ -72,20 +75,25 @@ TEST(Simulator, HmmsearchSpeedupOnAlpha)
 {
     // The headline result, in miniature: the transformed hmmsearch
     // must be substantially faster on the Alpha model.
-    const double sp = Simulator::speedup(*apps::findApp("hmmsearch"),
-                                         cpu::alpha21264(),
-                                         apps::Scale::Small, 7);
-    EXPECT_GT(sp, 1.25);
+    const SpeedupResult r = Simulator::speedup(
+        *apps::findApp("hmmsearch"), cpu::alpha21264(),
+        apps::Scale::Small, 7);
+    EXPECT_TRUE(r.verified());
+    EXPECT_GT(r.baseline.cycles, r.transformed.cycles);
+    EXPECT_GT(r.speedup, 1.25);
 }
 
 TEST(Simulator, PentiumSpeedupSmallerThanAlpha)
 {
     // Section 5.1: the 2-cycle L1 and 8 registers shrink the gain.
     const auto &app = *apps::findApp("hmmsearch");
-    const double alpha = Simulator::speedup(app, cpu::alpha21264(),
-                                            apps::Scale::Small, 7);
+    const double alpha =
+        Simulator::speedup(app, cpu::alpha21264(),
+                           apps::Scale::Small, 7)
+            .speedup;
     const double p4 = Simulator::speedup(app, cpu::pentium4(),
-                                         apps::Scale::Small, 7);
+                                         apps::Scale::Small, 7)
+                          .speedup;
     EXPECT_GT(alpha, p4);
     (void)p4;
 }
@@ -94,7 +102,8 @@ TEST(Simulator, PredatorSpeedupIsMarginal)
 {
     const double sp = Simulator::speedup(*apps::findApp("predator"),
                                          cpu::alpha21264(),
-                                         apps::Scale::Small, 7);
+                                         apps::Scale::Small, 7)
+                          .speedup;
     EXPECT_GT(sp, 0.95);
     EXPECT_LT(sp, 1.15);
 }

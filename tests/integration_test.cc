@@ -45,8 +45,8 @@ TEST_P(CharacterizationBandTest, LoadsAreMajorFraction)
     // Figure 1: loads average ~30%; individual apps 15-45%. Our
     // synthetic kernels land in a band around that.
     const auto &res = resultFor(GetParam());
-    EXPECT_GT(res.mix->loadFraction(), 0.05) << GetParam();
-    EXPECT_LT(res.mix->loadFraction(), 0.55) << GetParam();
+    EXPECT_GT(res.mix.loadFraction, 0.05) << GetParam();
+    EXPECT_LT(res.mix.loadFraction, 0.55) << GetParam();
 }
 
 TEST_P(CharacterizationBandTest, CachesSatisfyAlmostAllLoads)
@@ -54,17 +54,18 @@ TEST_P(CharacterizationBandTest, CachesSatisfyAlmostAllLoads)
     // Table 2: L1 miss rates under ~2%, overall (to memory) under
     // ~0.1%, AMAT dominated by the 3-cycle L1 hit latency.
     const auto &res = resultFor(GetParam());
-    EXPECT_LT(res.cache->l1LocalMissRate(), 0.03) << GetParam();
-    EXPECT_LT(res.cache->overallMissRate(), 0.005) << GetParam();
-    EXPECT_GE(res.cache->amat(), 3.0) << GetParam();
-    EXPECT_LT(res.cache->amat(), 3.5) << GetParam();
+    EXPECT_LT(res.cache.l1LocalMissRate, 0.03) << GetParam();
+    EXPECT_LT(res.cache.overallMissRate, 0.005) << GetParam();
+    EXPECT_GE(res.cache.amat, 3.0) << GetParam();
+    EXPECT_LT(res.cache.amat, 3.5) << GetParam();
 }
 
 TEST_P(CharacterizationBandTest, FewStaticLoadsCoverExecution)
 {
     // Figure 2: ~80 static loads cover >90% of dynamic loads.
     const auto &res = resultFor(GetParam());
-    EXPECT_GT(res.coverage->coverageAt(120), 0.9) << GetParam();
+    EXPECT_GT(res.coverageProfiler->coverageAt(120), 0.9)
+        << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -80,7 +81,7 @@ TEST(CharacterizationShape, HmmerTrioHasHighestLoadToBranch)
         apps::AppRun run = apps::findApp(name)->make(
             apps::Variant::Baseline, apps::Scale::Small, 31);
         const auto res = core::Simulator::characterize(run);
-        return res.loadBranch->loadToBranchFraction();
+        return res.loadBranch.loadToBranchFraction;
     };
     const double hmmsearch = ltb("hmmsearch");
     const double hmmpfam = ltb("hmmpfam");
@@ -100,8 +101,8 @@ TEST(CharacterizationShape, LtbBranchesAreHardToPredict)
     apps::AppRun run = apps::findApp("hmmsearch")->make(
         apps::Variant::Baseline, apps::Scale::Small, 31);
     const auto res = core::Simulator::characterize(run);
-    EXPECT_GT(res.loadBranch->ltbBranchMissRate(), 0.04);
-    EXPECT_LT(res.loadBranch->ltbBranchMissRate(), 0.35);
+    EXPECT_GT(res.loadBranch.ltbBranchMissRate, 0.04);
+    EXPECT_LT(res.loadBranch.ltbBranchMissRate, 0.35);
 }
 
 TEST(CharacterizationShape, SpecLikeCoverageContrast)
@@ -112,7 +113,7 @@ TEST(CharacterizationShape, SpecLikeCoverageContrast)
         apps::AppRun run = apps::findApp(name)->make(
             apps::Variant::Baseline, apps::Scale::Small, 31);
         const auto res = core::Simulator::characterize(run);
-        return res.coverage->coverageAt(80);
+        return res.coverage.coverageAt80;
     };
     const double bio = cov80("hmmsearch");
     const double crafty = cov80("crafty-like");
@@ -130,8 +131,10 @@ TEST(SpeedupShape, TransformedNeverMeaningfullySlower)
     // No transformation may lose more than a few percent anywhere.
     for (const auto &app : apps::transformableApps()) {
         for (const auto &platform : cpu::evaluationPlatforms()) {
-            const double sp = core::Simulator::speedup(
-                app, platform, apps::Scale::Small, 13);
+            const double sp =
+                core::Simulator::speedup(app, platform,
+                                         apps::Scale::Small, 13)
+                    .speedup;
             EXPECT_GT(sp, 0.93) << app.name << " on " << platform.name;
         }
     }
@@ -141,11 +144,15 @@ TEST(SpeedupShape, HmmsearchIsTheHeadline)
 {
     // Figure 9: hmmsearch shows the largest speedup on Alpha.
     const auto alpha = cpu::alpha21264();
-    const double hmmsearch = core::Simulator::speedup(
-        *apps::findApp("hmmsearch"), alpha, apps::Scale::Small, 13);
+    const double hmmsearch =
+        core::Simulator::speedup(*apps::findApp("hmmsearch"), alpha,
+                                 apps::Scale::Small, 13)
+            .speedup;
     for (const char *other : { "clustalw", "dnapenny", "predator" }) {
-        const double sp = core::Simulator::speedup(
-            *apps::findApp(other), alpha, apps::Scale::Small, 13);
+        const double sp =
+            core::Simulator::speedup(*apps::findApp(other), alpha,
+                                     apps::Scale::Small, 13)
+                .speedup;
         EXPECT_GT(hmmsearch, sp) << other;
     }
     EXPECT_GT(hmmsearch, 1.25);
@@ -158,8 +165,10 @@ TEST(SpeedupShape, PlatformOrderingMatchesFigure9)
     std::map<std::string, std::vector<double>> sp;
     for (const auto &app : apps::transformableApps()) {
         for (const auto &platform : cpu::evaluationPlatforms()) {
-            sp[platform.core.name].push_back(core::Simulator::speedup(
-                app, platform, apps::Scale::Small, 13));
+            sp[platform.core.name].push_back(
+                core::Simulator::speedup(app, platform,
+                                         apps::Scale::Small, 13)
+                    .speedup);
         }
     }
     auto hm = [&](const std::string &p) {
@@ -186,11 +195,13 @@ TEST(SpeedupShape, RegisterPressureMattersOnPentium)
     const auto &app = *apps::findApp("hmmsearch");
     cpu::PlatformConfig p4 = cpu::pentium4();
     const double constrained =
-        core::Simulator::speedup(app, p4, apps::Scale::Small, 13);
+        core::Simulator::speedup(app, p4, apps::Scale::Small, 13)
+            .speedup;
     p4.core.numIntRegs = 32;
     p4.core.numFpRegs = 32;
     const double roomy =
-        core::Simulator::speedup(app, p4, apps::Scale::Small, 13);
+        core::Simulator::speedup(app, p4, apps::Scale::Small, 13)
+            .speedup;
     EXPECT_GT(roomy, constrained);
 }
 
@@ -201,10 +212,12 @@ TEST(SpeedupShape, L1LatencySensitivity)
     const auto &app = *apps::findApp("hmmsearch");
     cpu::PlatformConfig alpha = cpu::alpha21264();
     const double at3 =
-        core::Simulator::speedup(app, alpha, apps::Scale::Small, 13);
+        core::Simulator::speedup(app, alpha, apps::Scale::Small, 13)
+            .speedup;
     alpha.latencies.l1HitLatency = 1;
     const double at1 =
-        core::Simulator::speedup(app, alpha, apps::Scale::Small, 13);
+        core::Simulator::speedup(app, alpha, apps::Scale::Small, 13)
+            .speedup;
     EXPECT_GT(at3, at1);
 }
 

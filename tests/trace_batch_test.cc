@@ -254,9 +254,9 @@ TEST(TraceBatch, CharacterizeSweepMatchesSerialCharacterize)
         const auto direct = core::Simulator::characterize(run);
         EXPECT_TRUE(swept[i].verified);
         EXPECT_EQ(swept[i].instructions, direct.instructions);
-        EXPECT_EQ(swept[i].mix->loads(), direct.mix->loads());
-        EXPECT_EQ(swept[i].cache->loadL1Misses(),
-                  direct.cache->loadL1Misses());
+        EXPECT_EQ(swept[i].mix.loads, direct.mix.loads);
+        EXPECT_EQ(swept[i].cache.loadL1Misses,
+                  direct.cache.loadL1Misses);
     }
 }
 
