@@ -21,6 +21,7 @@
 
 #include "apps/app.h"
 #include "core/simulator.h"
+#include "core/trace_cache.h"
 #include "cpu/platforms.h"
 #include "harness.h"
 #include "util/stats.h"
@@ -64,13 +65,21 @@ main(int argc, char **argv)
             }
         }
     }
+    // Baseline and transformed variants are distinct workloads, but
+    // the four platforms of each variant share recordings where their
+    // register files coincide; SweepOptions' default Auto policy
+    // records once per shared workload and replays the rest.
+    core::SweepOptions opts;
+    core::TraceCache::Stats trace_stats;
+    opts.statsOut = &trace_stats;
     const double t0 = bench::now();
-    const auto results = core::Simulator::sweep(jobs);
+    const auto results = core::Simulator::sweep(jobs, opts);
     uint64_t total_instrs = 0;
     for (const auto &r : results)
         total_instrs += r.instructions;
     h.manifest().addStage("timing_sweep", bench::now() - t0,
                           total_instrs);
+    trace_stats.addStagesTo(h.manifest());
 
     std::vector<std::string> time_headers = { "program", "version" };
     for (const auto &p : platforms)

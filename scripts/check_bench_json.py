@@ -18,6 +18,21 @@ MANIFEST_KEYS = (
 STAGE_KEYS = ("name", "wall_seconds", "instructions", "simulated_mips")
 SCHEMAS = ("bioperf.bench.v1", "bioperf.run.v1")
 
+# sim_throughput grew trace record/replay instrumentation; its report
+# must quantify the codec (bytes/instr, record and replay MIPS) and
+# prove the cached sweep ran and matched the live one bit-for-bit.
+SIM_THROUGHPUT_METRICS = (
+    "characterize_speedup", "timing_speedup",
+    "characterize_replay_speedup", "timing_replay_speedup",
+    "bytes_per_instr", "replay_mips", "record_mips",
+    "sweep_wall_live_seconds", "sweep_wall_cached_seconds",
+    "sweep_cached_speedup", "results_identical",
+)
+SIM_THROUGHPUT_RUN_KEYS = ("mode", "delivery", "instructions",
+                           "seconds", "mips")
+SIM_THROUGHPUT_DELIVERIES = ("per-instr", "batched", "record+replay",
+                             "replay")
+
 
 def check(path: str) -> list:
     errors = []
@@ -49,9 +64,40 @@ def check(path: str) -> list:
             for key in STAGE_KEYS:
                 if key not in stage:
                     errors.append(f"stages[{i}] missing key: {key}")
-    if not isinstance(report.get("metrics"), dict):
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
         errors.append("missing metrics object")
+        return errors
+    if manifest.get("bench") == "sim_throughput":
+        check_sim_throughput(metrics, errors)
     return errors
+
+
+def check_sim_throughput(metrics: dict, errors: list) -> None:
+    for key in SIM_THROUGHPUT_METRICS:
+        if key not in metrics:
+            errors.append(f"metrics missing key: {key}")
+    if metrics.get("results_identical") is not True:
+        errors.append("results_identical is not true: replay or the "
+                      "cached sweep diverged from live execution")
+    bpi = metrics.get("bytes_per_instr")
+    if isinstance(bpi, (int, float)) and not 0 < bpi <= 8:
+        errors.append(f"bytes_per_instr {bpi} outside (0, 8]")
+    runs = metrics.get("runs")
+    if not isinstance(runs, list):
+        errors.append("metrics.runs is not a list")
+        return
+    seen = set()
+    for i, run in enumerate(runs):
+        for key in SIM_THROUGHPUT_RUN_KEYS:
+            if key not in run:
+                errors.append(f"runs[{i}] missing key: {key}")
+        seen.add((run.get("mode"), run.get("delivery")))
+    for mode in ("characterize", "timing"):
+        for delivery in SIM_THROUGHPUT_DELIVERIES:
+            if (mode, delivery) not in seen:
+                errors.append(f"no run for mode={mode} "
+                              f"delivery={delivery}")
 
 
 def main(argv: list) -> int:

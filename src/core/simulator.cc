@@ -1,12 +1,16 @@
 #include "core/simulator.h"
 
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <unordered_map>
 
 #include "cpu/inorder_core.h"
 #include "cpu/ooo_core.h"
 #include "regalloc/linear_scan.h"
 #include "util/thread_pool.h"
 #include "vm/interpreter.h"
+#include "vm/trace_codec.h"
 
 namespace bioperf::core {
 
@@ -109,18 +113,177 @@ uint32_t
 Simulator::applyRegisterPressure(apps::AppRun &run,
                                  const cpu::PlatformConfig &platform)
 {
+    return applyRegisterPressure(run, platform.core.numIntRegs,
+                                 platform.core.numFpRegs);
+}
+
+uint32_t
+Simulator::applyRegisterPressure(apps::AppRun &run, uint32_t int_regs,
+                                 uint32_t fp_regs)
+{
     uint32_t spills = 0;
     for (size_t f = 0; f < run.prog->numFunctions(); f++) {
-        const regalloc::AllocResult r = regalloc::allocate(
-            *run.prog, run.prog->function(f),
-            platform.core.numIntRegs, platform.core.numFpRegs);
+        const regalloc::AllocResult r =
+            regalloc::allocate(*run.prog, run.prog->function(f),
+                               int_regs, fp_regs);
         spills += r.spillInstrs;
     }
     run.prog->renumber();
     return spills;
 }
 
+CharacterizationResult
+Simulator::characterizeReplay(const CachedTrace &trace)
+{
+    CharacterizationResult res;
+    res.mixProfiler =
+        std::make_unique<profile::InstructionMixProfiler>();
+    res.coverageProfiler =
+        std::make_unique<profile::LoadCoverageProfiler>();
+    res.cacheProfiler = std::make_unique<profile::CacheProfiler>();
+    res.loadBranchProfiler =
+        std::make_unique<profile::LoadBranchProfiler>();
+
+    vm::TraceReplayer replayer(trace.trace, *trace.prog);
+    replayer.addSink(res.mixProfiler.get());
+    replayer.addSink(res.coverageProfiler.get());
+    replayer.addSink(res.cacheProfiler.get());
+    replayer.addSink(res.loadBranchProfiler.get());
+    res.instructions = replayer.replay();
+    res.verified = trace.verified;
+    res.mix = res.mixProfiler->summary();
+    res.coverage = res.coverageProfiler->summary();
+    res.cache = res.cacheProfiler->summary();
+    res.loadBranch = res.loadBranchProfiler->summary();
+    return res;
+}
+
+TimingResult
+Simulator::timeReplay(const CachedTrace &trace,
+                      const cpu::PlatformConfig &platform)
+{
+    TimingResult res;
+    mem::CacheHierarchy caches = platform.makeHierarchy();
+    auto predictor = platform.makePredictor();
+
+    vm::TraceReplayer replayer(trace.trace, *trace.prog);
+    if (platform.core.outOfOrder) {
+        cpu::OooCore core(platform.core, &caches, predictor.get());
+        replayer.addSink(&core);
+        replayer.replay();
+        res.cycles = core.cycles();
+        res.instructions = core.instructions();
+        res.mispredicts = core.branchMispredictions();
+        res.ipc = core.ipc();
+        res.seconds = core.seconds();
+    } else {
+        cpu::InorderCore core(platform.core, &caches, predictor.get());
+        replayer.addSink(&core);
+        replayer.replay();
+        res.cycles = core.cycles();
+        res.instructions = core.instructions();
+        res.mispredicts = core.branchMispredictions();
+        res.ipc = core.ipc();
+        res.seconds = core.seconds();
+    }
+    res.verified = trace.verified;
+    return res;
+}
+
+std::vector<TimingResult>
+Simulator::timeReplayMany(
+    const CachedTrace &trace,
+    const std::vector<const cpu::PlatformConfig *> &platforms)
+{
+    // Per-platform sink state; heap-held because the cores keep
+    // pointers to their hierarchy/predictor across the replay.
+    struct PlatformSinks
+    {
+        std::unique_ptr<mem::CacheHierarchy> caches;
+        std::unique_ptr<branch::BranchPredictor> predictor;
+        std::unique_ptr<cpu::OooCore> ooo;
+        std::unique_ptr<cpu::InorderCore> inorder;
+    };
+    std::vector<PlatformSinks> sinks(platforms.size());
+
+    vm::TraceReplayer replayer(trace.trace, *trace.prog);
+    for (size_t i = 0; i < platforms.size(); i++) {
+        const cpu::PlatformConfig &p = *platforms[i];
+        PlatformSinks &s = sinks[i];
+        s.caches = std::make_unique<mem::CacheHierarchy>(
+            p.makeHierarchy());
+        s.predictor = p.makePredictor();
+        if (p.core.outOfOrder) {
+            s.ooo = std::make_unique<cpu::OooCore>(
+                p.core, s.caches.get(), s.predictor.get());
+            replayer.addSink(s.ooo.get());
+        } else {
+            s.inorder = std::make_unique<cpu::InorderCore>(
+                p.core, s.caches.get(), s.predictor.get());
+            replayer.addSink(s.inorder.get());
+        }
+    }
+    replayer.replay();
+
+    std::vector<TimingResult> results(platforms.size());
+    for (size_t i = 0; i < platforms.size(); i++) {
+        TimingResult &res = results[i];
+        if (sinks[i].ooo) {
+            const cpu::OooCore &core = *sinks[i].ooo;
+            res.cycles = core.cycles();
+            res.instructions = core.instructions();
+            res.mispredicts = core.branchMispredictions();
+            res.ipc = core.ipc();
+            res.seconds = core.seconds();
+        } else {
+            const cpu::InorderCore &core = *sinks[i].inorder;
+            res.cycles = core.cycles();
+            res.instructions = core.instructions();
+            res.mispredicts = core.branchMispredictions();
+            res.ipc = core.ipc();
+            res.seconds = core.seconds();
+        }
+        res.verified = trace.verified;
+    }
+    return results;
+}
+
 namespace {
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+TraceKey
+makeKey(const SweepJob &job)
+{
+    TraceKey key;
+    key.app = job.app;
+    key.variant = job.variant;
+    key.scale = job.scale;
+    key.seed = job.seed;
+    key.registerPressure = job.registerPressure;
+    if (job.registerPressure) {
+        key.intRegs = job.platform.core.numIntRegs;
+        key.fpRegs = job.platform.core.numFpRegs;
+    }
+    return key;
+}
+
+TraceKey
+makeKey(const CharacterizeJob &job)
+{
+    TraceKey key;
+    key.app = job.app;
+    key.variant = job.variant;
+    key.scale = job.scale;
+    key.seed = job.seed;
+    return key;
+}
 
 TimingResult
 runSweepJob(const SweepJob &job)
@@ -131,6 +294,23 @@ runSweepJob(const SweepJob &job)
     return Simulator::time(run, job.platform);
 }
 
+TimingResult
+replaySweepJob(const CachedTrace &trace, const SweepJob &job)
+{
+    return Simulator::timeReplay(trace, job.platform);
+}
+
+std::vector<TimingResult>
+replaySweepGroup(const CachedTrace &trace,
+                 const std::vector<const SweepJob *> &group)
+{
+    std::vector<const cpu::PlatformConfig *> platforms;
+    platforms.reserve(group.size());
+    for (const SweepJob *job : group)
+        platforms.push_back(&job->platform);
+    return Simulator::timeReplayMany(trace, platforms);
+}
+
 CharacterizationResult
 runCharacterizeJob(const CharacterizeJob &job)
 {
@@ -138,33 +318,159 @@ runCharacterizeJob(const CharacterizeJob &job)
     return Simulator::characterize(run);
 }
 
+CharacterizationResult
+replayCharacterizeJob(const CachedTrace &trace, const CharacterizeJob &)
+{
+    return Simulator::characterizeReplay(trace);
+}
+
 /**
- * Fan @a jobs out over a pool and collect results in job order; the
- * app registry is touched once up front so the workers never race on
- * its lazy initialization.
+ * Fan @a jobs out over a pool and collect results in job order,
+ * substituting trace replay for interpretation per the options'
+ * trace policy. The app registry is touched once up front so the
+ * workers never race on its lazy initialization.
+ *
+ * Trace scheduling: workload keys are counted over the whole job
+ * list first. A job replays when the policy is Always, when its key
+ * is shared by ≥2 jobs of this call, or when a supplied persistent
+ * cache already holds the key; the first job to reach a key records
+ * it (single-flight — concurrent jobs for the same workload block on
+ * the one recording). With the ephemeral per-call cache, a remaining
+ * -use counter drops each trace after its last consumer, so peak
+ * memory tracks in-flight workloads rather than the job list.
+ *
+ * When the sweep runs on the calling thread and @a group_fn is
+ * supplied, all replay jobs sharing a trace are handed to it in one
+ * call, so the encoded stream is decoded once for the whole group
+ * (every consumer's sink rides the same replayer). Worker-pool
+ * sweeps keep per-job replay, which scales across threads; results
+ * are bit-identical either way.
  */
-template <typename Job, typename Result, typename RunFn>
+template <typename Job, typename Result, typename LiveFn,
+          typename ReplayFn>
 std::vector<Result>
-runAll(const std::vector<Job> &jobs, unsigned threads, RunFn run_fn)
+runAll(const std::vector<Job> &jobs, const SweepOptions &opts,
+       LiveFn live_fn, ReplayFn replay_fn,
+       std::vector<Result> (*group_fn)(
+           const CachedTrace &,
+           const std::vector<const Job *> &) = nullptr)
 {
     std::vector<Result> results(jobs.size());
+    unsigned threads = opts.threads;
     if (threads == 0)
         threads = util::ThreadPool::defaultThreads();
-    if (threads <= 1 || jobs.size() <= 1) {
-        for (size_t i = 0; i < jobs.size(); i++)
-            results[i] = run_fn(jobs[i]);
-        return results;
+
+    // Decide per job whether it goes through the trace path.
+    std::vector<std::string> key_str(jobs.size());
+    std::vector<bool> replay(jobs.size(), false);
+    std::unordered_map<std::string, int> uses;
+    if (opts.trace != SweepOptions::Trace::Off) {
+        for (size_t i = 0; i < jobs.size(); i++) {
+            key_str[i] = makeKey(jobs[i]).str();
+            uses[key_str[i]]++;
+        }
+        for (size_t i = 0; i < jobs.size(); i++) {
+            replay[i] =
+                opts.trace == SweepOptions::Trace::Always ||
+                uses[key_str[i]] >= 2 ||
+                (opts.cache &&
+                 opts.cache->lookup(makeKey(jobs[i])) != nullptr);
+        }
     }
-    apps::bioperfApps();
-    util::ThreadPool pool(threads);
-    std::vector<std::future<Result>> futures;
-    futures.reserve(jobs.size());
-    for (const Job &job : jobs)
-        futures.push_back(pool.submit([&job, &run_fn] {
-            return run_fn(job);
-        }));
-    for (size_t i = 0; i < jobs.size(); i++)
-        results[i] = futures[i].get();
+
+    TraceCache ephemeral;
+    TraceCache *cache = opts.cache ? opts.cache : &ephemeral;
+    const bool evict = opts.cache == nullptr;
+    // Fully populated before the workers start; workers only look up
+    // existing entries and atomically decrement, so the map structure
+    // itself is never mutated concurrently.
+    std::unordered_map<std::string, std::atomic<int>> remaining;
+    for (size_t i = 0; i < jobs.size(); i++) {
+        if (replay[i])
+            remaining[key_str[i]]++;
+    }
+
+    auto run_one = [&](size_t i) -> Result {
+        if (!replay[i])
+            return live_fn(jobs[i]);
+        const TraceKey key = makeKey(jobs[i]);
+        TraceCache::Ptr trace = cache->obtain(key);
+        const double t0 = wallNow();
+        Result r = replay_fn(*trace, jobs[i]);
+        cache->noteReplay(wallNow() - t0, trace->instructions);
+        if (evict &&
+            remaining.find(key_str[i])->second.fetch_sub(1) == 1) {
+            trace.reset();
+            cache->erase(key);
+        }
+        return r;
+    };
+
+    if (threads <= 1 || jobs.size() <= 1) {
+        std::unordered_map<std::string, std::vector<size_t>> groups;
+        if (group_fn) {
+            for (size_t i = 0; i < jobs.size(); i++) {
+                if (replay[i])
+                    groups[key_str[i]].push_back(i);
+            }
+        }
+        std::vector<bool> done(jobs.size(), false);
+        for (size_t i = 0; i < jobs.size(); i++) {
+            if (done[i])
+                continue;
+            auto it = (group_fn && replay[i]) ? groups.find(key_str[i])
+                                              : groups.end();
+            if (it == groups.end() || it->second.size() < 2) {
+                results[i] = run_one(i);
+                continue;
+            }
+            // Shared-trace group: decode once, drive every member's
+            // sinks from the same replayer. obtain() still runs per
+            // member so record/hit accounting matches the per-job
+            // path exactly.
+            const std::vector<size_t> &members = it->second;
+            const TraceKey key = makeKey(jobs[i]);
+            TraceCache::Ptr trace;
+            for (size_t m = 0; m < members.size(); m++)
+                trace = cache->obtain(key);
+            std::vector<const Job *> group_jobs;
+            group_jobs.reserve(members.size());
+            for (size_t idx : members)
+                group_jobs.push_back(&jobs[idx]);
+            const double t0 = wallNow();
+            std::vector<Result> rs = group_fn(*trace, group_jobs);
+            // One wall-clock pass delivered the full stream to every
+            // member, so the effective replayed-instruction count is
+            // per consumer.
+            cache->noteReplay(
+                wallNow() - t0,
+                trace->instructions *
+                    static_cast<uint64_t>(members.size()));
+            for (size_t m = 0; m < members.size(); m++) {
+                results[members[m]] = std::move(rs[m]);
+                done[members[m]] = true;
+            }
+            if (evict) {
+                remaining.find(key_str[i])
+                    ->second.fetch_sub(
+                        static_cast<int>(members.size()));
+                trace.reset();
+                cache->erase(key);
+            }
+        }
+    } else {
+        apps::bioperfApps();
+        util::ThreadPool pool(threads);
+        std::vector<std::future<Result>> futures;
+        futures.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); i++)
+            futures.push_back(
+                pool.submit([&run_one, i] { return run_one(i); }));
+        for (size_t i = 0; i < jobs.size(); i++)
+            results[i] = futures[i].get();
+    }
+    if (opts.statsOut)
+        *opts.statsOut = cache->stats();
     return results;
 }
 
@@ -173,21 +479,42 @@ runAll(const std::vector<Job> &jobs, unsigned threads, RunFn run_fn)
 std::vector<TimingResult>
 Simulator::sweep(const std::vector<SweepJob> &jobs, unsigned threads)
 {
-    return runAll<SweepJob, TimingResult>(jobs, threads, runSweepJob);
+    SweepOptions opts;
+    opts.threads = threads;
+    return sweep(jobs, opts);
+}
+
+std::vector<TimingResult>
+Simulator::sweep(const std::vector<SweepJob> &jobs,
+                 const SweepOptions &opts)
+{
+    return runAll<SweepJob, TimingResult>(jobs, opts, runSweepJob,
+                                          replaySweepJob,
+                                          replaySweepGroup);
 }
 
 std::vector<CharacterizationResult>
 Simulator::characterizeSweep(const std::vector<CharacterizeJob> &jobs,
                              unsigned threads)
 {
+    SweepOptions opts;
+    opts.threads = threads;
+    return characterizeSweep(jobs, opts);
+}
+
+std::vector<CharacterizationResult>
+Simulator::characterizeSweep(const std::vector<CharacterizeJob> &jobs,
+                             const SweepOptions &opts)
+{
     return runAll<CharacterizeJob, CharacterizationResult>(
-        jobs, threads, runCharacterizeJob);
+        jobs, opts, runCharacterizeJob, replayCharacterizeJob);
 }
 
 SpeedupResult
 Simulator::speedup(const apps::AppInfo &app,
                    const cpu::PlatformConfig &platform,
-                   apps::Scale scale, uint64_t seed, unsigned threads)
+                   apps::Scale scale, uint64_t seed, unsigned threads,
+                   TraceCache *cache)
 {
     std::vector<SweepJob> jobs(2);
     jobs[0].app = &app;
@@ -197,7 +524,15 @@ Simulator::speedup(const apps::AppInfo &app,
     jobs[0].seed = seed;
     jobs[1] = jobs[0];
     jobs[1].variant = apps::Variant::Transformed;
-    std::vector<TimingResult> timed = sweep(jobs, threads);
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.cache = cache;
+    // With a persistent cache, record both variants so later calls
+    // (other platforms, other predictors) replay instead of
+    // re-interpreting and re-rewriting the same workload pair.
+    if (cache)
+        opts.trace = SweepOptions::Trace::Always;
+    std::vector<TimingResult> timed = sweep(jobs, opts);
 
     SpeedupResult res;
     res.baseline = timed[0];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "apps/app.h"
+#include "core/trace_cache.h"
 #include "cpu/platforms.h"
 #include "profile/cache_profiler.h"
 #include "profile/instruction_mix.h"
@@ -99,6 +100,49 @@ struct CharacterizeJob
 };
 
 /**
+ * How a sweep schedules its jobs and whether it may substitute
+ * record-once/replay-many trace execution for repeated
+ * interpretation. Replay is bit-identical to live interpretation (the
+ * trace stream drives the same sinks through the same onBatch()
+ * path), so the policy only changes wall time and memory, never
+ * results.
+ */
+struct SweepOptions
+{
+    /** As in sweep(): 0 = pool default, 1 = calling thread. */
+    unsigned threads = 0;
+
+    enum class Trace : uint8_t {
+        /**
+         * Record a workload iff ≥2 jobs of this call share it (or a
+         * supplied cache already holds it); unique workloads run
+         * live. The default: replay pays only when a recording is
+         * consumed more than once.
+         */
+        Auto,
+        /** Record every workload (persistent caches, warm reuse). */
+        Always,
+        /** Pure interpretation; the pre-trace-cache behaviour. */
+        Off,
+    };
+    Trace trace = Trace::Auto;
+
+    /**
+     * Persistent cache to record into / replay from. When null, the
+     * sweep uses an ephemeral per-call cache whose entries are
+     * dropped as soon as their last job completes (peak memory is
+     * bounded by in-flight workloads, not by the whole job list).
+     */
+    TraceCache *cache = nullptr;
+
+    /**
+     * When non-null, receives the call's record/replay cost (useful
+     * with the ephemeral cache, whose own stats die with the call).
+     */
+    TraceCache::Stats *statsOut = nullptr;
+};
+
+/**
  * One-stop driver tying applications to the analysis stack. All
  * methods run the application's full workload through the interpreter
  * with the requested sinks attached and check the outputs against the
@@ -110,9 +154,44 @@ class Simulator
     /** Characterizes @a run under the Table 3 reference cache model. */
     static CharacterizationResult characterize(apps::AppRun &run);
 
+    /**
+     * Characterization from a recorded trace instead of live
+     * interpretation: drives the same four profilers with the decoded
+     * DynInstr stream. Results are bit-identical to characterize() on
+     * the workload the trace was recorded from; the verified flag is
+     * the one captured at record time.
+     */
+    static CharacterizationResult characterizeReplay(
+        const CachedTrace &trace);
+
     /** Times @a run on @a platform (OoO or in-order per config). */
     static TimingResult time(apps::AppRun &run,
                              const cpu::PlatformConfig &platform);
+
+    /**
+     * Timing from a recorded trace: replays the stream into the
+     * platform's core model (caches + predictor built fresh), bit
+     * identical to time() on the recorded workload. The trace must
+     * have been recorded with the platform's register file when
+     * register pressure matters (TraceKey::registerPressure).
+     */
+    static TimingResult timeReplay(const CachedTrace &trace,
+                                   const cpu::PlatformConfig &platform);
+
+    /**
+     * Times one recorded trace on several platforms in a single
+     * decode pass: every platform's core model is attached to one
+     * TraceReplayer, so the encoded stream is decoded once however
+     * many consumers it has. Results (in @a platforms order) are
+     * bit-identical to calling timeReplay() per platform — the cores
+     * are independent sinks and each sees the exact same stream.
+     * Sequential sweeps use this to cut the per-job decode cost;
+     * parallel sweeps prefer per-job replayers, which scale across
+     * workers.
+     */
+    static std::vector<TimingResult> timeReplayMany(
+        const CachedTrace &trace,
+        const std::vector<const cpu::PlatformConfig *> &platforms);
 
     /**
      * Rewrites every function of the application for the platform's
@@ -124,6 +203,11 @@ class Simulator
     static uint32_t applyRegisterPressure(
         apps::AppRun &run, const cpu::PlatformConfig &platform);
 
+    /** As above, with explicit register counts (trace recording). */
+    static uint32_t applyRegisterPressure(apps::AppRun &run,
+                                          uint32_t int_regs,
+                                          uint32_t fp_regs);
+
     /**
      * Convenience: baseline-vs-transformed speedup of @a app on
      * @a platform, as the paper reports it (original time divided by
@@ -131,17 +215,31 @@ class Simulator
      * Implemented as a two-job sweep(); @a threads as there (1 = the
      * calling thread, the default; 0 = the default pool width).
      * Results are bit-identical for any thread count.
+     *
+     * @param cache when non-null, baseline and transformed workloads
+     *        are recorded into it (once per register-file shape) and
+     *        replayed on later calls — platform sweeps over the same
+     *        app interpret each variant once instead of per platform.
      */
     static SpeedupResult speedup(const apps::AppInfo &app,
                                  const cpu::PlatformConfig &platform,
                                  apps::Scale scale, uint64_t seed,
-                                 unsigned threads = 1);
+                                 unsigned threads = 1,
+                                 TraceCache *cache = nullptr);
 
     /**
      * Runs independent timing jobs concurrently on a util::ThreadPool
-     * and returns results in job order. Each job builds and owns its
-     * entire simulation stack (program, interpreter, caches,
-     * predictor), so results are bit-identical for any thread count.
+     * and returns results in job order. Each job owns its entire
+     * simulation stack (program or shared immutable trace, caches,
+     * predictor, core), so results are bit-identical for any thread
+     * count and any SweepOptions::Trace policy.
+     *
+     * Under the default trace policy (SweepOptions::Trace::Auto),
+     * jobs sharing a workload — same (app, variant, scale, seed) and,
+     * with registerPressure, the same architectural register file —
+     * interpret and rewrite it once and replay the recorded trace
+     * thereafter, including concurrently from one shared immutable
+     * trace across pool workers.
      *
      * @param threads 0 = ThreadPool::defaultThreads() (honours the
      *        BIOPERF_THREADS environment variable); 1 = run inline on
@@ -149,10 +247,15 @@ class Simulator
      */
     static std::vector<TimingResult> sweep(
         const std::vector<SweepJob> &jobs, unsigned threads = 0);
+    static std::vector<TimingResult> sweep(
+        const std::vector<SweepJob> &jobs, const SweepOptions &opts);
 
     /** Parallel counterpart of characterize() over many jobs. */
     static std::vector<CharacterizationResult> characterizeSweep(
         const std::vector<CharacterizeJob> &jobs, unsigned threads = 0);
+    static std::vector<CharacterizationResult> characterizeSweep(
+        const std::vector<CharacterizeJob> &jobs,
+        const SweepOptions &opts);
 };
 
 } // namespace bioperf::core

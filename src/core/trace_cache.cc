@@ -1,0 +1,424 @@
+#include "core/trace_cache.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "core/simulator.h"
+#include "vm/interpreter.h"
+
+namespace bioperf::core {
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+std::string
+TraceKey::str() const
+{
+    std::string s = app ? app->name : "?";
+    s += '/';
+    s += apps::toString(variant);
+    s += '/';
+    s += apps::toString(scale);
+    s += "/seed";
+    s += std::to_string(seed);
+    if (registerPressure) {
+        s += "/regs";
+        s += std::to_string(intRegs);
+        s += '-';
+        s += std::to_string(fpRegs);
+    }
+    return s;
+}
+
+void
+TraceCache::Stats::addStagesTo(util::RunManifest &manifest) const
+{
+    if (records > 0)
+        manifest.addStage("trace_record", recordSeconds,
+                          recordedInstructions);
+    if (replayedInstructions > 0)
+        manifest.addStage("trace_replay", replaySeconds,
+                          replayedInstructions);
+}
+
+TraceCache::Ptr
+TraceCache::record(const TraceKey &key)
+{
+    auto ct = std::make_shared<CachedTrace>();
+    apps::AppRun run =
+        key.app->make(key.variant, key.scale, key.seed);
+    if (key.registerPressure)
+        ct->spills = Simulator::applyRegisterPressure(
+            run, key.intRegs, key.fpRegs);
+    vm::TraceRecorder recorder(*run.prog);
+    vm::Interpreter interp(*run.prog);
+    interp.addSink(&recorder);
+    run.driver(interp);
+    ct->verified = run.verify();
+    ct->instructions = interp.totalInstrs();
+    ct->trace = recorder.finish();
+    ct->prog = std::move(run.prog);
+    return ct;
+}
+
+TraceCache::Ptr
+TraceCache::obtain(const TraceKey &key)
+{
+    const std::string k = key.str();
+    std::promise<Ptr> promise;
+    std::shared_future<Ptr> fut;
+    bool recording = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(k);
+        if (it != entries_.end()) {
+            stats_.hits++;
+            fut = it->second;
+        } else {
+            // Single-flight: publish the future before recording so
+            // concurrent workers for the same workload block on it
+            // instead of recording twice.
+            recording = true;
+            fut = promise.get_future().share();
+            entries_.emplace(k, fut);
+        }
+    }
+    if (!recording)
+        return fut.get();
+    const double t0 = now();
+    Ptr ct = record(key);
+    const double dt = now() - t0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.records++;
+        stats_.recordSeconds += dt;
+        stats_.recordedInstructions += ct->instructions;
+    }
+    promise.set_value(ct);
+    return ct;
+}
+
+TraceCache::Ptr
+TraceCache::lookup(const TraceKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key.str());
+    if (it == entries_.end())
+        return nullptr;
+    if (it->second.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready)
+        return nullptr;
+    return it->second.get();
+}
+
+void
+TraceCache::insert(const TraceKey &key, Ptr trace)
+{
+    std::promise<Ptr> promise;
+    promise.set_value(std::move(trace));
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key.str()] = promise.get_future().share();
+}
+
+void
+TraceCache::erase(const TraceKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(key.str());
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+size_t
+TraceCache::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto &[name, fut] : entries_) {
+        if (fut.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            if (const Ptr &p = fut.get())
+                n += p->trace.totalBytes();
+        }
+    }
+    return n;
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+TraceCache::noteReplay(double seconds, uint64_t instructions)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.replaySeconds += seconds;
+    stats_.replayedInstructions += instructions;
+}
+
+// --- .bptrace persistence ---------------------------------------------
+//
+// Layout (all integers little-endian, host-endian in practice):
+//   u8[8]  magic "bptrace\0"
+//   u32    version (kTraceFileVersion)
+//   u8     variant, u8 scale, u8 registerPressure, u8 verified
+//   u32    intRegs, u32 fpRegs
+//   u64    seed
+//   u32    sidLimit          (fingerprint of the recording program)
+//   u64    runs
+//   u32    spills
+//   u32    appNameLen, bytes
+//   u32    numChunks
+//   chunk: u32 numEvents, u32 bitmapOffset, u32 byteLen, bytes
+//   u64    instructions      (trailer: decoded-count cross-check)
+//   u32    end magic "BPTE"
+
+namespace {
+
+constexpr char kTraceMagic[8] = { 'b', 'p', 't', 'r', 'a', 'c', 'e',
+                                  '\0' };
+constexpr uint32_t kTraceFileVersion = 1;
+constexpr uint32_t kTraceEndMagic = 0x45545042; // "BPTE"
+
+struct FileCloser
+{
+    void operator()(FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+bool
+writeBytes(FILE *f, const void *p, size_t n)
+{
+    return std::fwrite(p, 1, n, f) == n;
+}
+
+template <typename T>
+bool
+writeScalar(FILE *f, T v)
+{
+    return writeBytes(f, &v, sizeof(v));
+}
+
+bool
+readBytes(FILE *f, void *p, size_t n)
+{
+    return std::fread(p, 1, n, f) == n;
+}
+
+template <typename T>
+bool
+readScalar(FILE *f, T &v)
+{
+    return readBytes(f, &v, sizeof(v));
+}
+
+/** Counts onRunEnd() calls during the load-time validation replay. */
+struct RunCountSink : vm::TraceSink
+{
+    uint64_t runs = 0;
+    void onInstr(const vm::DynInstr &) override {}
+    void onBatch(const vm::DynInstr *, size_t) override {}
+    void onRunEnd() override { runs++; }
+};
+
+} // namespace
+
+std::string
+saveTraceFile(const std::string &path, const TraceKey &key,
+              const CachedTrace &trace)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return "cannot open '" + path + "' for writing";
+    const std::string app_name = key.app ? key.app->name : "";
+    bool ok = writeBytes(f.get(), kTraceMagic, sizeof(kTraceMagic)) &&
+              writeScalar(f.get(), kTraceFileVersion) &&
+              writeScalar(f.get(),
+                          static_cast<uint8_t>(key.variant)) &&
+              writeScalar(f.get(), static_cast<uint8_t>(key.scale)) &&
+              writeScalar(f.get(), static_cast<uint8_t>(
+                                       key.registerPressure ? 1 : 0)) &&
+              writeScalar(f.get(), static_cast<uint8_t>(
+                                       trace.verified ? 1 : 0)) &&
+              writeScalar(f.get(), key.intRegs) &&
+              writeScalar(f.get(), key.fpRegs) &&
+              writeScalar(f.get(), key.seed) &&
+              writeScalar(f.get(), trace.trace.sidLimit()) &&
+              writeScalar(f.get(), trace.trace.runs()) &&
+              writeScalar(f.get(), trace.spills) &&
+              writeScalar(f.get(),
+                          static_cast<uint32_t>(app_name.size())) &&
+              writeBytes(f.get(), app_name.data(), app_name.size()) &&
+              writeScalar(f.get(), static_cast<uint32_t>(
+                                       trace.trace.chunks().size()));
+    for (const auto &chunk : trace.trace.chunks()) {
+        if (!ok)
+            break;
+        ok = writeScalar(f.get(), chunk.numEvents) &&
+             writeScalar(f.get(), chunk.bitmapOffset) &&
+             writeScalar(f.get(),
+                         static_cast<uint32_t>(chunk.bytes.size())) &&
+             writeBytes(f.get(), chunk.bytes.data(),
+                        chunk.bytes.size());
+    }
+    ok = ok && writeScalar(f.get(), trace.trace.instructions()) &&
+         writeScalar(f.get(), kTraceEndMagic);
+    FILE *raw = f.release();
+    if (std::fclose(raw) != 0)
+        ok = false;
+    if (!ok)
+        return "write to '" + path + "' failed";
+    return "";
+}
+
+TraceLoadResult
+loadTraceFile(const std::string &path)
+{
+    TraceLoadResult res;
+    auto fail = [&res](std::string why) {
+        res.trace = nullptr;
+        res.error = std::move(why);
+        return res;
+    };
+
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return fail("cannot open '" + path + "'");
+
+    char magic[8];
+    if (!readBytes(f.get(), magic, sizeof(magic)))
+        return fail("truncated file (no header)");
+    if (std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
+        return fail("not a .bptrace file (bad magic)");
+    uint32_t version = 0;
+    if (!readScalar(f.get(), version))
+        return fail("truncated file (no version)");
+    if (version != kTraceFileVersion)
+        return fail("unsupported .bptrace version " +
+                    std::to_string(version) + " (expected " +
+                    std::to_string(kTraceFileVersion) + ")");
+
+    uint8_t variant = 0, scale = 0, reg_pressure = 0, verified = 0;
+    uint32_t int_regs = 0, fp_regs = 0, sid_limit = 0, spills = 0;
+    uint32_t name_len = 0, num_chunks = 0;
+    uint64_t seed = 0, runs = 0;
+    if (!readScalar(f.get(), variant) || !readScalar(f.get(), scale) ||
+        !readScalar(f.get(), reg_pressure) ||
+        !readScalar(f.get(), verified) ||
+        !readScalar(f.get(), int_regs) ||
+        !readScalar(f.get(), fp_regs) || !readScalar(f.get(), seed) ||
+        !readScalar(f.get(), sid_limit) ||
+        !readScalar(f.get(), runs) || !readScalar(f.get(), spills) ||
+        !readScalar(f.get(), name_len))
+        return fail("truncated file (incomplete identity block)");
+    if (name_len > 4096)
+        return fail("implausible app name length (corrupt header)");
+    std::string app_name(name_len, '\0');
+    if (!readBytes(f.get(), app_name.data(), name_len) ||
+        !readScalar(f.get(), num_chunks))
+        return fail("truncated file (incomplete identity block)");
+
+    auto ct = std::make_shared<CachedTrace>();
+    ct->verified = verified != 0;
+    ct->spills = spills;
+    ct->trace.setSidLimit(sid_limit);
+    uint64_t event_instr_bound = 0;
+    for (uint32_t i = 0; i < num_chunks; i++) {
+        vm::EncodedTrace::Chunk chunk;
+        uint32_t byte_len = 0;
+        if (!readScalar(f.get(), chunk.numEvents) ||
+            !readScalar(f.get(), chunk.bitmapOffset) ||
+            !readScalar(f.get(), byte_len))
+            return fail("truncated chunk header (chunk " +
+                        std::to_string(i) + " of " +
+                        std::to_string(num_chunks) + ")");
+        if (chunk.bitmapOffset > byte_len)
+            return fail("chunk bitmap offset beyond payload (corrupt "
+                        "framing)");
+        chunk.bytes.resize(byte_len);
+        if (!readBytes(f.get(), chunk.bytes.data(), byte_len))
+            return fail("truncated chunk payload (chunk " +
+                        std::to_string(i) + ")");
+        event_instr_bound += chunk.numEvents;
+        ct->trace.appendChunk(std::move(chunk));
+    }
+    uint64_t instructions = 0;
+    uint32_t end_magic = 0;
+    if (!readScalar(f.get(), instructions) ||
+        !readScalar(f.get(), end_magic))
+        return fail("truncated file (no trailer)");
+    if (end_magic != kTraceEndMagic)
+        return fail("bad trailer magic (corrupt or truncated file)");
+    if (instructions + runs != event_instr_bound)
+        return fail("trailer instruction count disagrees with chunk "
+                    "framing (corrupt file)");
+    ct->trace.setCounts(instructions, runs);
+    ct->instructions = instructions;
+
+    // Re-materialize the replay program from the stored recipe and
+    // validate that its sid space matches the recording.
+    res.key.app = apps::findApp(app_name);
+    if (!res.key.app)
+        return fail("trace was recorded for unknown application '" +
+                    app_name + "'");
+    res.key.variant = static_cast<apps::Variant>(variant);
+    res.key.scale = static_cast<apps::Scale>(scale);
+    res.key.seed = seed;
+    res.key.registerPressure = reg_pressure != 0;
+    res.key.intRegs = int_regs;
+    res.key.fpRegs = fp_regs;
+    apps::AppRun run = res.key.app->make(res.key.variant,
+                                         res.key.scale, res.key.seed);
+    if (res.key.registerPressure)
+        Simulator::applyRegisterPressure(run, int_regs, fp_regs);
+    if (run.prog->sidLimit() != sid_limit)
+        return fail("rebuilt program has a different sid space than "
+                    "the recording (version skew between the trace "
+                    "and this build)");
+    ct->prog = std::move(run.prog);
+
+    // Full decode pass with no sinks: proves every varint terminates
+    // and the stream reproduces the declared counts before any
+    // analysis consumes it.
+    RunCountSink counter;
+    vm::TraceReplayer validator(ct->trace, *ct->prog);
+    validator.addSink(&counter);
+    const uint64_t decoded = validator.replay();
+    if (decoded != instructions || counter.runs != runs)
+        return fail("decoded event counts disagree with the trailer "
+                    "(corrupt payload)");
+
+    res.trace = std::move(ct);
+    return res;
+}
+
+} // namespace bioperf::core

@@ -1,0 +1,161 @@
+#ifndef BIOPERF_CORE_TRACE_CACHE_H_
+#define BIOPERF_CORE_TRACE_CACHE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "apps/app.h"
+#include "util/metrics.h"
+#include "vm/trace_codec.h"
+
+namespace bioperf::core {
+
+/**
+ * Workload identity of a recorded trace. Two jobs may share a trace
+ * iff every field matches: the app factory is deterministic in
+ * (variant, scale, seed), and the register-pressure rewrite — the
+ * only pre-run program mutation the simulator performs — changes the
+ * dynamic stream, so the platform's architectural register file is
+ * part of the identity whenever the rewrite is applied. Caches and
+ * predictors are *not* part of the key: they are sinks, and the trace
+ * is pure functional execution.
+ */
+struct TraceKey
+{
+    const apps::AppInfo *app = nullptr;
+    apps::Variant variant = apps::Variant::Baseline;
+    apps::Scale scale = apps::Scale::Small;
+    uint64_t seed = 42;
+    /** Register-pressure rewrite applied before recording. */
+    bool registerPressure = false;
+    uint32_t intRegs = 0;
+    uint32_t fpRegs = 0;
+
+    /**
+     * Canonical string form, used as the cache map key and in
+     * manifests; app identity is by name (AppInfo objects may be
+     * registry copies).
+     */
+    std::string str() const;
+};
+
+/**
+ * One recorded workload: the encoded stream plus the program it was
+ * recorded from (replayed DynInstr entries point into this program,
+ * so it must outlive every replay) and the run's golden-model
+ * verdict. Replaying skips functional execution, so the verdict is
+ * captured once at record time and reused — same recipe, same
+ * deterministic outcome.
+ */
+struct CachedTrace
+{
+    std::unique_ptr<ir::Program> prog;
+    vm::EncodedTrace trace;
+    bool verified = false;
+    uint64_t instructions = 0;
+    /** Spill instructions inserted by the register-pressure rewrite. */
+    uint32_t spills = 0;
+};
+
+/**
+ * Keyed store of recorded traces for record-once/replay-many sweeps.
+ *
+ * Thread-safe and single-flight: concurrent obtain() calls for one
+ * key block until the single recording finishes, then share the same
+ * immutable CachedTrace. Simulator::sweep()/characterizeSweep() use
+ * an ephemeral per-call cache by default (recording only workloads
+ * shared by ≥2 jobs, evicted after their last use); benches hold a
+ * persistent instance to reuse recordings across calls.
+ */
+class TraceCache
+{
+  public:
+    using Ptr = std::shared_ptr<const CachedTrace>;
+
+    /** Aggregate record/replay cost, for RunManifest stages. */
+    struct Stats
+    {
+        uint64_t records = 0;
+        uint64_t hits = 0;
+        double recordSeconds = 0.0;
+        uint64_t recordedInstructions = 0;
+        double replaySeconds = 0.0;
+        uint64_t replayedInstructions = 0;
+
+        /**
+         * Appends "trace_record" / "trace_replay" stages (wall time +
+         * instructions, hence effective MIPS) when non-empty, so
+         * BENCH artifacts separate capture cost from analysis cost.
+         */
+        void addStagesTo(util::RunManifest &manifest) const;
+    };
+
+    /**
+     * Returns the trace for @a key, recording it on first use
+     * (build the app run, apply the register-pressure rewrite if the
+     * key asks for it, interpret the full workload once with a
+     * TraceRecorder attached, verify against the golden model).
+     */
+    Ptr obtain(const TraceKey &key);
+
+    /** The cached trace, or null when absent or still recording. */
+    Ptr lookup(const TraceKey &key) const;
+
+    /** Registers an externally produced trace (e.g. a loaded file). */
+    void insert(const TraceKey &key, Ptr trace);
+
+    void erase(const TraceKey &key);
+    void clear();
+
+    size_t size() const;
+    /** Encoded bytes across all resident traces. */
+    size_t totalBytes() const;
+
+    Stats stats() const;
+    /** Accounts one replay's cost (called by the replay paths). */
+    void noteReplay(double seconds, uint64_t instructions);
+
+    /** One-shot record with no caching (CLI --trace-out, benches). */
+    static Ptr record(const TraceKey &key);
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_future<Ptr>> entries_;
+    Stats stats_;
+};
+
+/**
+ * On-disk .bptrace persistence. The file stores the *recipe* (app,
+ * variant, scale, seed, register file) plus the encoded chunks — not
+ * the program, which the loader rebuilds deterministically from the
+ * registry and validates by sid-space fingerprint. Layout: versioned
+ * header, identity block, per-chunk framing, instruction-count
+ * trailer (see trace_cache.cc for the exact field list).
+ */
+
+/** @return empty string on success, else a diagnostic. */
+std::string saveTraceFile(const std::string &path, const TraceKey &key,
+                          const CachedTrace &trace);
+
+struct TraceLoadResult
+{
+    TraceKey key;
+    TraceCache::Ptr trace;
+    /** Empty on success; on failure @a trace is null. */
+    std::string error;
+};
+
+/**
+ * Loads, validates (magic, version, chunk framing, trailer count,
+ * full decode) and re-materializes the replay program for a saved
+ * trace.
+ */
+TraceLoadResult loadTraceFile(const std::string &path);
+
+} // namespace bioperf::core
+
+#endif // BIOPERF_CORE_TRACE_CACHE_H_

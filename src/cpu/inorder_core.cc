@@ -7,17 +7,9 @@ namespace bioperf::cpu {
 InorderCore::InorderCore(const CoreConfig &config,
                          mem::CacheHierarchy *caches,
                          branch::BranchPredictor *predictor)
-    : config_(config), caches_(caches), predictor_(predictor)
+    : config_(config), caches_(caches), predictor_(predictor),
+      decode_(config)
 {
-}
-
-uint64_t &
-InorderCore::regReady(ir::RegClass cls, uint32_t reg)
-{
-    auto &v = cls == ir::RegClass::Fp ? fp_ready_ : int_ready_;
-    if (reg >= v.size())
-        v.resize(reg + 1, 0);
-    return v[reg];
 }
 
 void
@@ -37,12 +29,16 @@ void
 InorderCore::step(const vm::DynInstr &di)
 {
     const ir::Instr &in = *di.instr;
+    const DecodedInstr &d = decode_.lookup(in, ready_);
 
-    uint64_t ready = issue_cycle_;
-    reads_buf_.clear();
-    gatherReads(in, reads_buf_);
-    for (auto &[cls, reg] : reads_buf_)
-        ready = std::max(ready, regReady(cls, reg));
+    // DecodeTable pre-sized the scoreboard and padded reads[] with the
+    // always-zero sentinel, so this is four unchecked loads and
+    // branchless maxes (issue_cycle_ >= 1 outranks the sentinel).
+    const uint64_t *rv = ready_.data();
+    const uint64_t r01 = std::max(rv[d.reads[0]], rv[d.reads[1]]);
+    const uint64_t r23 = std::max(rv[d.reads[2]], rv[d.reads[3]]);
+    const uint64_t ready =
+        std::max(issue_cycle_, std::max(r01, r23));
 
     // In-order issue: a stalled instruction blocks younger ones.
     if (ready > issue_cycle_) {
@@ -56,46 +52,33 @@ InorderCore::step(const vm::DynInstr &di)
     const uint64_t issue = issue_cycle_;
     issued_this_cycle_++;
 
-    uint32_t latency = config_.intAluLatency;
-    switch (ir::classOf(in.op)) {
-      case ir::InstrClass::IntAlu:
-        if (in.op == ir::Opcode::Mul)
-            latency = config_.intMulLatency;
-        else if (in.op == ir::Opcode::Div || in.op == ir::Opcode::Rem)
-            latency = config_.intDivLatency;
-        break;
-      case ir::InstrClass::FpAlu:
-        latency = in.op == ir::Opcode::FDiv ? config_.fpDivLatency
-                                            : config_.fpAluLatency;
-        break;
-      case ir::InstrClass::Load:
-      case ir::InstrClass::FpLoad:
-        latency = caches_->access(di.addr, false).latency;
-        if (accel_) {
-            latency = accel_->adjustLatency(in.sid, di.addr,
-                                            di.loadValueBits, latency);
+    uint32_t latency = d.fixedLatency;
+    if (d.kind != DecodedInstr::kFixed) {
+        switch (d.kind) {
+          case DecodedInstr::kLoad:
+            latency = caches_->access(di.addr, false).latency;
+            if (accel_) {
+                latency = accel_->adjustLatency(
+                    in.sid, di.addr, di.loadValueBits, latency);
+            }
+            break;
+          case DecodedInstr::kStore:
+            caches_->access(di.addr, true);
+            latency = 1;
+            break;
+          default:
+            caches_->access(di.addr, false);
+            latency = 1;
+            break;
         }
-        break;
-      case ir::InstrClass::Store:
-      case ir::InstrClass::FpStore:
-        caches_->access(di.addr, true);
-        latency = 1;
-        break;
-      case ir::InstrClass::Prefetch:
-        caches_->access(di.addr, false);
-        latency = 1;
-        break;
-      default:
-        latency = 1;
-        break;
     }
     const uint64_t complete = issue + latency;
     last_complete_ = std::max(last_complete_, complete);
 
-    if (ir::dstClass(in) != ir::RegClass::None)
-        regReady(ir::dstClass(in), in.dst) = complete;
+    // Unconditional: dst-less instructions target the trash slot.
+    ready_[d.dst] = complete;
 
-    if (in.op == ir::Opcode::Br) {
+    if (d.isBranch) {
         const bool correct = predictor_->predictAndTrain(in.sid, di.taken);
         if (!correct) {
             mispredicts_++;
@@ -109,7 +92,7 @@ InorderCore::step(const vm::DynInstr &di)
             issue_cycle_++;
             issued_this_cycle_ = 0;
         }
-    } else if (in.op == ir::Opcode::Jmp) {
+    } else if (d.isJump) {
         issue_cycle_++;
         issued_this_cycle_ = 0;
     }
@@ -120,8 +103,7 @@ InorderCore::step(const vm::DynInstr &di)
 void
 InorderCore::onRunEnd()
 {
-    std::fill(int_ready_.begin(), int_ready_.end(), 0);
-    std::fill(fp_ready_.begin(), fp_ready_.end(), 0);
+    std::fill(ready_.begin(), ready_.end(), 0);
 }
 
 double

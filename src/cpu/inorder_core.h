@@ -6,6 +6,7 @@
 
 #include "branch/predictors.h"
 #include "cpu/core_config.h"
+#include "cpu/decoded_instr.h"
 #include "cpu/load_accel.h"
 #include "mem/hierarchy.h"
 #include "util/metrics.h"
@@ -48,7 +49,6 @@ class InorderCore : public vm::TraceSink, public util::Reportable
 
   private:
     void step(const vm::DynInstr &di);
-    uint64_t &regReady(ir::RegClass cls, uint32_t reg);
 
     CoreConfig config_;
     mem::CacheHierarchy *caches_;
@@ -58,14 +58,16 @@ class InorderCore : public vm::TraceSink, public util::Reportable
     uint64_t issue_cycle_ = 1;   ///< cycle the next instruction may issue
     uint32_t issued_this_cycle_ = 0;
 
-    std::vector<uint64_t> int_ready_;
-    std::vector<uint64_t> fp_ready_;
+    // Unified scoreboard over DecodeTable's dense slots (slot 0 reads
+    // as always ready, slot 1 absorbs dst-less writebacks).
+    std::vector<uint64_t> ready_;
 
     uint64_t last_complete_ = 0;
     uint64_t instructions_ = 0;
     uint64_t mispredicts_ = 0;
 
-    std::vector<std::pair<ir::RegClass, uint32_t>> reads_buf_;
+    /** Per-sid static facts, decoded once on first sight. */
+    DecodeTable decode_;
 };
 
 } // namespace bioperf::cpu

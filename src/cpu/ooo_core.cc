@@ -14,30 +14,23 @@ OooCore::OooCore(const CoreConfig &config, mem::CacheHierarchy *caches,
                  branch::BranchPredictor *predictor)
     : config_(config), caches_(caches), predictor_(predictor),
       rob_(std::max<uint32_t>(config.windowSize, 1), 0),
-      issue_slots_(kSlotBuckets), retire_slots_(kSlotBuckets)
+      issue_slots_(kSlotBuckets, 0), decode_(config)
 {
-}
-
-uint64_t &
-OooCore::regReady(ir::RegClass cls, uint32_t reg)
-{
-    auto &v = cls == ir::RegClass::Fp ? fp_ready_ : int_ready_;
-    if (reg >= v.size())
-        v.resize(reg + 1, 0);
-    return v[reg];
 }
 
 uint64_t
 OooCore::allocIssueSlot(uint64_t earliest)
 {
+    // Entries pack (cycle << 8) | used; widths are far below 256.
+    // The zero-initialised buckets read as cycle 0, which no request
+    // can name (earliest >= dispatch + 1 >= 2), so they always
+    // mismatch and reset on first use.
     for (uint64_t c = earliest;; c++) {
-        SlotBucket &b = issue_slots_[c & (kSlotBuckets - 1)];
-        if (b.cycle != c) {
-            b.cycle = c;
-            b.used = 0;
-        }
-        if (b.used < config_.issueWidth) {
-            b.used++;
+        uint64_t &b = issue_slots_[c & (kSlotBuckets - 1)];
+        if ((b >> 8) != c)
+            b = c << 8;
+        if ((b & 0xff) < config_.issueWidth) {
+            b++;
             return c;
         }
     }
@@ -46,17 +39,19 @@ OooCore::allocIssueSlot(uint64_t earliest)
 uint64_t
 OooCore::allocRetireSlot(uint64_t earliest)
 {
-    for (uint64_t c = earliest;; c++) {
-        SlotBucket &b = retire_slots_[c & (kSlotBuckets - 1)];
-        if (b.cycle != c) {
-            b.cycle = c;
-            b.used = 0;
-        }
-        if (b.used < config_.retireWidth) {
-            b.used++;
-            return c;
-        }
+    // step() clamps earliest to last_retire_, so requests are
+    // monotone and two counters suffice: either the request moves to
+    // a later (hence untouched) cycle, or it lands on the current one
+    // and spills at most one cycle forward when the width is spent.
+    if (earliest > retire_cycle_) {
+        retire_cycle_ = earliest;
+        retire_used_ = 0;
+    } else if (retire_used_ >= config_.retireWidth) {
+        retire_cycle_++;
+        retire_used_ = 0;
     }
+    retire_used_++;
+    return retire_cycle_;
 }
 
 void
@@ -76,6 +71,7 @@ void
 OooCore::step(const vm::DynInstr &di)
 {
     const ir::Instr &in = *di.instr;
+    const DecodedInstr &d = decode_.lookup(in, ready_);
     PipelineTimes t;
 
     // --- dispatch: fetch bandwidth + window occupancy ---------------------
@@ -84,7 +80,7 @@ OooCore::step(const vm::DynInstr &di)
         fetch_slots_used_ = 0;
     }
     uint64_t dispatch = fetch_cycle_;
-    const uint64_t oldest_retire = rob_[instructions_ % rob_.size()];
+    const uint64_t oldest_retire = rob_[rob_pos_];
     if (oldest_retire > dispatch) {
         // Window full: dispatch stalls until the oldest entry retires.
         dispatch = oldest_retire;
@@ -95,66 +91,57 @@ OooCore::step(const vm::DynInstr &di)
     t.dispatch = dispatch;
 
     // --- operand readiness ------------------------------------------------
-    uint64_t ready = dispatch + 1;
-    reads_buf_.clear();
-    gatherReads(in, reads_buf_);
-    for (auto &[cls, reg] : reads_buf_)
-        ready = std::max(ready, regReady(cls, reg));
+    // DecodeTable pre-sized the scoreboard and padded reads[] with the
+    // always-zero sentinel, so this is four unchecked loads and
+    // branchless maxes (dispatch+1 >= 1 outranks the sentinel).
+    const uint64_t *rv = ready_.data();
+    const uint64_t r01 = std::max(rv[d.reads[0]], rv[d.reads[1]]);
+    const uint64_t r23 = std::max(rv[d.reads[2]], rv[d.reads[3]]);
+    const uint64_t ready = std::max(dispatch + 1, std::max(r01, r23));
 
     // --- issue: bandwidth-limited ------------------------------------------
     const uint64_t issue = allocIssueSlot(ready);
     t.issue = issue;
 
     // --- execute ------------------------------------------------------------
-    uint32_t latency = config_.intAluLatency;
-    switch (ir::classOf(in.op)) {
-      case ir::InstrClass::IntAlu:
-        if (in.op == ir::Opcode::Mul)
-            latency = config_.intMulLatency;
-        else if (in.op == ir::Opcode::Div || in.op == ir::Opcode::Rem)
-            latency = config_.intDivLatency;
-        break;
-      case ir::InstrClass::FpAlu:
-        latency = in.op == ir::Opcode::FDiv ? config_.fpDivLatency
-                                            : config_.fpAluLatency;
-        break;
-      case ir::InstrClass::Load:
-      case ir::InstrClass::FpLoad: {
-        const auto acc = caches_->access(di.addr, false);
-        latency = acc.latency;
-        if (accel_) {
-            latency = accel_->adjustLatency(in.sid, di.addr,
-                                            di.loadValueBits, latency);
+    // The common fixed-latency case takes one predictable branch; only
+    // memory operations enter the switch.
+    uint32_t latency = d.fixedLatency;
+    if (d.kind != DecodedInstr::kFixed) {
+        switch (d.kind) {
+          case DecodedInstr::kLoad: {
+            latency = caches_->access(di.addr, false).latency;
+            if (accel_) {
+                latency = accel_->adjustLatency(
+                    in.sid, di.addr, di.loadValueBits, latency);
+            }
+            t.memLatency = latency;
+            break;
+          }
+          case DecodedInstr::kStore:
+            // Stores commit through a write buffer: they update the
+            // cache but complete in one cycle from the pipeline's
+            // perspective.
+            caches_->access(di.addr, true);
+            latency = 1;
+            break;
+          default:
+            // Prefetch: fire-and-forget — warms the hierarchy, never
+            // stalls.
+            caches_->access(di.addr, false);
+            latency = 1;
+            break;
         }
-        t.memLatency = latency;
-        break;
-      }
-      case ir::InstrClass::Store:
-      case ir::InstrClass::FpStore: {
-        // Stores commit through a write buffer: they update the cache
-        // but complete in one cycle from the pipeline's perspective.
-        caches_->access(di.addr, true);
-        latency = 1;
-        break;
-      }
-      case ir::InstrClass::Prefetch:
-        // Fire-and-forget: warms the hierarchy, never stalls.
-        caches_->access(di.addr, false);
-        latency = 1;
-        break;
-      default:
-        latency = 1;
-        break;
     }
     const uint64_t complete = issue + latency;
     t.complete = complete;
 
     // --- writeback ----------------------------------------------------------
-    if (ir::dstClass(in) != ir::RegClass::None)
-        regReady(ir::dstClass(in), in.dst) = complete;
+    // Unconditional: dst-less instructions target the trash slot.
+    ready_[d.dst] = complete;
 
     // --- branch resolution ---------------------------------------------------
-    if (in.op == ir::Opcode::Br) {
+    if (d.isBranch) {
         const bool correct = predictor_->predictAndTrain(in.sid, di.taken);
         if (!correct) {
             mispredicts_++;
@@ -175,7 +162,9 @@ OooCore::step(const vm::DynInstr &di)
     const uint64_t retire =
         allocRetireSlot(std::max(complete, last_retire_));
     last_retire_ = retire;
-    rob_[instructions_ % rob_.size()] = retire;
+    rob_[rob_pos_] = retire;
+    if (++rob_pos_ == rob_.size())
+        rob_pos_ = 0;
     t.retire = retire;
 
     instructions_++;
@@ -188,8 +177,7 @@ OooCore::onRunEnd()
 {
     // A new run starts with freshly zeroed registers whose values are
     // immediately available.
-    std::fill(int_ready_.begin(), int_ready_.end(), 0);
-    std::fill(fp_ready_.begin(), fp_ready_.end(), 0);
+    std::fill(ready_.begin(), ready_.end(), 0);
 }
 
 double

@@ -7,6 +7,7 @@
 
 #include "branch/predictors.h"
 #include "cpu/core_config.h"
+#include "cpu/decoded_instr.h"
 #include "cpu/load_accel.h"
 #include "mem/hierarchy.h"
 #include "util/metrics.h"
@@ -93,7 +94,6 @@ class OooCore : public vm::TraceSink, public util::Reportable
     void step(const vm::DynInstr &di);
     uint64_t allocIssueSlot(uint64_t earliest);
     uint64_t allocRetireSlot(uint64_t earliest);
-    uint64_t &regReady(ir::RegClass cls, uint32_t reg);
 
     CoreConfig config_;
     mem::CacheHierarchy *caches_;
@@ -105,24 +105,31 @@ class OooCore : public vm::TraceSink, public util::Reportable
     uint64_t fetch_cycle_ = 1;
     uint32_t fetch_slots_used_ = 0;
 
-    // Scoreboard: completion cycle of each register's latest writer.
-    std::vector<uint64_t> int_ready_;
-    std::vector<uint64_t> fp_ready_;
+    // Scoreboard: completion cycle of each register's latest writer,
+    // indexed by DecodeTable's dense slots (slot 0 reads as always
+    // ready, slot 1 absorbs dst-less writebacks).
+    std::vector<uint64_t> ready_;
 
     // Retirement and window state.
     std::vector<uint64_t> rob_; ///< retire cycles, ring of windowSize
+    size_t rob_pos_ = 0;        ///< ring cursor (avoids a hot modulo)
     uint64_t last_retire_ = 0;
 
-    // Bandwidth accounting: cycle-tagged slot counters.
-    struct SlotBucket { uint64_t cycle = UINT64_MAX; uint32_t used = 0; };
-    std::vector<SlotBucket> issue_slots_;
-    std::vector<SlotBucket> retire_slots_;
+    // Issue-bandwidth accounting: cycle-tagged slot counters, packed
+    // as (cycle << 8) | used so one 8-byte load/store serves both.
+    // Issue requests can reach back to an operand-ready cycle well
+    // behind the fetch frontier, hence the persistent ring.
+    std::vector<uint64_t> issue_slots_;
+    // Retire requests are monotone (earliest is clamped to
+    // last_retire_), so two counters replace a second ring.
+    uint64_t retire_cycle_ = 0;
+    uint32_t retire_used_ = 0;
 
     uint64_t instructions_ = 0;
     uint64_t mispredicts_ = 0;
 
-    /** Scratch buffer reused across onInstr calls. */
-    std::vector<std::pair<ir::RegClass, uint32_t>> reads_buf_;
+    /** Per-sid static facts, decoded once on first sight. */
+    DecodeTable decode_;
 };
 
 } // namespace bioperf::cpu

@@ -46,6 +46,10 @@ struct Options
     unsigned threads = 1;
     /** When non-empty, also write the result as JSON to this path. */
     std::string jsonPath;
+    /** Record the workload and save it as a .bptrace file here. */
+    std::string traceOut;
+    /** Replay a saved .bptrace file instead of interpreting. */
+    std::string traceIn;
 };
 
 double
@@ -82,7 +86,16 @@ usage()
         "                            (default 1 = inline; 0 = pool\n"
         "                            default, honours BIOPERF_THREADS)\n"
         "  --json FILE               also write the result as a JSON\n"
-        "                            report (manifest + metrics)\n");
+        "                            report (manifest + metrics)\n"
+        "  --trace-out FILE          (characterize, time) record the\n"
+        "                            workload once, save it as a\n"
+        "                            .bptrace file, and analyse the\n"
+        "                            replayed stream\n"
+        "  --trace-in FILE           (characterize, time) replay a\n"
+        "                            saved .bptrace instead of\n"
+        "                            interpreting; results are bit-\n"
+        "                            identical to the live run the\n"
+        "                            trace was recorded from\n");
 }
 
 bool
@@ -135,6 +148,10 @@ parse(int argc, char **argv, Options &opt)
                 std::strtoul(next(), nullptr, 10));
         } else if (a == "--json") {
             opt.jsonPath = next();
+        } else if (a == "--trace-out") {
+            opt.traceOut = next();
+        } else if (a == "--trace-in") {
+            opt.traceIn = next();
         } else {
             std::printf("unknown option %s\n", a.c_str());
             return false;
@@ -184,6 +201,69 @@ writeJsonReport(const Options &opt, bool ok,
     return true;
 }
 
+/**
+ * Loads opt.traceIn, checks it really holds @a app, and folds the
+ * file's workload identity and load cost into @a manifest.
+ *
+ * @return the trace, or null (with a message printed) on any failure
+ */
+core::TraceCache::Ptr
+loadTraceFor(const Options &opt, const apps::AppInfo &app,
+             util::RunManifest &manifest, core::TraceKey &key)
+{
+    const double t0 = now();
+    core::TraceLoadResult loaded = core::loadTraceFile(opt.traceIn);
+    if (!loaded.error.empty()) {
+        std::printf("%s: %s\n", opt.traceIn.c_str(),
+                    loaded.error.c_str());
+        return nullptr;
+    }
+    if (loaded.key.app != &app) {
+        std::printf("%s holds a trace of %s, not %s\n",
+                    opt.traceIn.c_str(),
+                    loaded.key.app->name.c_str(), app.name.c_str());
+        return nullptr;
+    }
+    key = loaded.key;
+    manifest.traceMode = "replay";
+    manifest.variant = apps::toString(key.variant);
+    manifest.scale = apps::toString(key.scale);
+    manifest.seed = key.seed;
+    manifest.addStage("trace_load", now() - t0,
+                      loaded.trace->instructions);
+    return loaded.trace;
+}
+
+/**
+ * Records @a key once and saves it to opt.traceOut, staging both
+ * costs into @a manifest.
+ *
+ * @return the recording, or null (with a message printed) on failure
+ */
+core::TraceCache::Ptr
+recordAndSave(const Options &opt, const core::TraceKey &key,
+              util::RunManifest &manifest)
+{
+    const double t0 = now();
+    const core::TraceCache::Ptr trace = core::TraceCache::record(key);
+    manifest.traceMode = "replay";
+    manifest.addStage("trace_record", now() - t0,
+                      trace->instructions);
+    const double t1 = now();
+    const std::string err =
+        core::saveTraceFile(opt.traceOut, key, *trace);
+    if (!err.empty()) {
+        std::printf("%s: %s\n", opt.traceOut.c_str(), err.c_str());
+        return nullptr;
+    }
+    manifest.addStage("trace_save", now() - t1);
+    std::printf("wrote %s (%llu instructions, %.2f bytes/instr)\n",
+                opt.traceOut.c_str(),
+                static_cast<unsigned long long>(trace->instructions),
+                trace->trace.bytesPerInstr());
+    return trace;
+}
+
 int
 cmdList()
 {
@@ -203,10 +283,44 @@ int
 cmdCharacterize(const Options &opt, const apps::AppInfo &app)
 {
     util::RunManifest manifest = makeManifest(opt, app);
-    const double t0 = now();
-    apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
-    const auto res = core::Simulator::characterize(run);
-    manifest.addStage("characterize", now() - t0, res.instructions);
+    core::CharacterizationResult res;
+    if (!opt.traceIn.empty()) {
+        core::TraceKey key;
+        const core::TraceCache::Ptr trace =
+            loadTraceFor(opt, app, manifest, key);
+        if (!trace)
+            return 1;
+        if (key.registerPressure) {
+            std::printf("%s was recorded with register pressure; "
+                        "characterize expects the unrewritten "
+                        "kernel\n", opt.traceIn.c_str());
+            return 1;
+        }
+        const double t0 = now();
+        res = core::Simulator::characterizeReplay(*trace);
+        manifest.addStage("characterize_replay", now() - t0,
+                          res.instructions);
+    } else if (!opt.traceOut.empty()) {
+        core::TraceKey key;
+        key.app = &app;
+        key.variant = opt.variant;
+        key.scale = opt.scale;
+        key.seed = opt.seed;
+        const core::TraceCache::Ptr trace =
+            recordAndSave(opt, key, manifest);
+        if (!trace)
+            return 1;
+        const double t0 = now();
+        res = core::Simulator::characterizeReplay(*trace);
+        manifest.addStage("characterize_replay", now() - t0,
+                          res.instructions);
+    } else {
+        const double t0 = now();
+        apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
+        res = core::Simulator::characterize(run);
+        manifest.addStage("characterize", now() - t0,
+                          res.instructions);
+    }
 
     std::printf("application      : %s (%s)\n", app.name.c_str(),
                 app.area.c_str());
@@ -244,14 +358,59 @@ int
 cmdTime(const Options &opt, const apps::AppInfo &app)
 {
     util::RunManifest manifest = makeManifest(opt, app);
-    const double t0 = now();
-    apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
-    core::Simulator::applyRegisterPressure(run, opt.platform);
-    const auto res = core::Simulator::time(run, opt.platform);
-    manifest.addStage("time", now() - t0, res.instructions);
+    core::TimingResult res;
+    if (!opt.traceIn.empty()) {
+        core::TraceKey key;
+        const core::TraceCache::Ptr trace =
+            loadTraceFor(opt, app, manifest, key);
+        if (!trace)
+            return 1;
+        if (!key.registerPressure ||
+            key.intRegs != opt.platform.core.numIntRegs ||
+            key.fpRegs != opt.platform.core.numFpRegs) {
+            std::printf(
+                "%s was recorded %s; timing on %s needs a trace "
+                "recorded with a matching --platform (%u int / %u fp "
+                "registers)\n", opt.traceIn.c_str(),
+                key.registerPressure
+                    ? "for a different register file"
+                    : "without register pressure",
+                opt.platform.name.c_str(),
+                opt.platform.core.numIntRegs,
+                opt.platform.core.numFpRegs);
+            return 1;
+        }
+        const double t0 = now();
+        res = core::Simulator::timeReplay(*trace, opt.platform);
+        manifest.addStage("time_replay", now() - t0,
+                          res.instructions);
+    } else if (!opt.traceOut.empty()) {
+        core::TraceKey key;
+        key.app = &app;
+        key.variant = opt.variant;
+        key.scale = opt.scale;
+        key.seed = opt.seed;
+        key.registerPressure = true;
+        key.intRegs = opt.platform.core.numIntRegs;
+        key.fpRegs = opt.platform.core.numFpRegs;
+        const core::TraceCache::Ptr trace =
+            recordAndSave(opt, key, manifest);
+        if (!trace)
+            return 1;
+        const double t0 = now();
+        res = core::Simulator::timeReplay(*trace, opt.platform);
+        manifest.addStage("time_replay", now() - t0,
+                          res.instructions);
+    } else {
+        const double t0 = now();
+        apps::AppRun run = app.make(opt.variant, opt.scale, opt.seed);
+        core::Simulator::applyRegisterPressure(run, opt.platform);
+        res = core::Simulator::time(run, opt.platform);
+        manifest.addStage("time", now() - t0, res.instructions);
+    }
 
     std::printf("%s (%s) on %s:\n", app.name.c_str(),
-                apps::toString(opt.variant),
+                manifest.variant.c_str(),
                 opt.platform.name.c_str());
     std::printf("  verified    : %s\n", res.verified ? "yes" : "NO");
     std::printf("  instructions: %llu\n",

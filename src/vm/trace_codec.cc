@@ -1,0 +1,366 @@
+#include "vm/trace_codec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bioperf::vm {
+
+namespace {
+
+/**
+ * Decode kinds, precomputed per sid so the replay loop is a dense
+ * switch instead of opcode classification per event.
+ */
+enum Kind : uint8_t {
+    kPlain = 0,   ///< no memory operand, not a branch
+    kMem = 1,     ///< store/prefetch: address only
+    kIntLoad = 2, ///< address + value delta
+    kFpLoad = 3,  ///< address + value XOR
+    kBranch = 4,  ///< direction bit
+};
+
+Kind
+kindOf(ir::Opcode op)
+{
+    if (op == ir::Opcode::Load)
+        return kIntLoad;
+    if (op == ir::Opcode::FLoad)
+        return kFpLoad;
+    if (ir::hasMemOperand(op))
+        return kMem;
+    if (op == ir::Opcode::Br)
+        return kBranch;
+    return kPlain;
+}
+
+[[noreturn]] void
+fatal(const char *what)
+{
+    std::fprintf(stderr, "trace codec: %s\n", what);
+    std::abort();
+}
+
+uint64_t
+readVarintSlow(const uint8_t *&p, const uint8_t *end)
+{
+    uint64_t v = 0;
+    unsigned shift = 0;
+    while (p < end) {
+        const uint8_t byte = *p++;
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 64)
+            fatal("varint longer than 64 bits (corrupt trace)");
+    }
+    fatal("varint runs past chunk payload (corrupt trace)");
+}
+
+/**
+ * Reads one varint from *p, with a branch-free-ish fast path for the
+ * dominant single-byte case. Overruns abort (in the slow path), so a
+ * corrupt trace fails loudly instead of reading out of bounds.
+ */
+inline uint64_t
+readVarint(const uint8_t *&p, const uint8_t *end)
+{
+    if (p < end && !(*p & 0x80))
+        return *p++;
+    return readVarintSlow(p, end);
+}
+
+/** Unchecked varint write; the caller guarantees 10 bytes of room. */
+inline uint8_t *
+writeVarint(uint8_t *p, uint64_t v)
+{
+    while (v >= 0x80) {
+        *p++ = static_cast<uint8_t>(v) | 0x80;
+        v >>= 7;
+    }
+    *p++ = static_cast<uint8_t>(v);
+    return p;
+}
+
+} // namespace
+
+void
+appendVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+size_t
+EncodedTrace::totalBytes() const
+{
+    size_t n = 0;
+    for (const Chunk &c : chunks_)
+        n += c.bytes.size();
+    return n;
+}
+
+double
+EncodedTrace::bytesPerInstr() const
+{
+    return instructions_ == 0
+               ? 0.0
+               : static_cast<double>(totalBytes()) /
+                     static_cast<double>(instructions_);
+}
+
+std::vector<const ir::Instr *>
+buildSidTable(const ir::Program &prog)
+{
+    std::vector<const ir::Instr *> table(prog.sidLimit(), nullptr);
+    for (size_t f = 0; f < prog.numFunctions(); f++) {
+        for (const auto &bb : prog.function(f).blocks) {
+            for (const auto &in : bb.instrs) {
+                if (in.sid >= table.size())
+                    fatal("instruction sid beyond Program::sidLimit()");
+                table[in.sid] = &in;
+            }
+        }
+    }
+    return table;
+}
+
+// --- TraceRecorder ----------------------------------------------------
+
+TraceRecorder::TraceRecorder(const ir::Program &prog)
+    : payload_(kChunkEvents * kMaxEventBytes),
+      branch_bits_(kChunkEvents / 8 + 1, 0),
+      last_addr_(prog.sidLimit(), 0), last_bits_(prog.sidLimit(), 0)
+{
+    trace_.setSidLimit(prog.sidLimit());
+    kind_of_sid_.assign(prog.sidLimit(), kPlain);
+    for (const ir::Instr *in : buildSidTable(prog)) {
+        if (in)
+            kind_of_sid_[in->sid] =
+                static_cast<uint8_t>(kindOf(in->op));
+    }
+}
+
+void
+TraceRecorder::encodeOne(const DynInstr &di)
+{
+    const uint32_t sid = di.instr->sid;
+    uint8_t *const base = payload_.data();
+    // Static instructions mostly execute in layout order, so the
+    // zigzagged sid delta is usually 0..3 and fits one byte even in
+    // programs with hundreds of sids. +1 keeps code 0 free for the
+    // run-boundary marker.
+    uint8_t *p = writeVarint(
+        base + payload_pos_,
+        zigzagEncode(static_cast<int64_t>(sid) -
+                     static_cast<int64_t>(prev_sid_)) + 1);
+    prev_sid_ = sid;
+    switch (kind_of_sid_[sid]) {
+      case kPlain:
+        break;
+      case kMem:
+        p = writeVarint(p, zigzagEncode(static_cast<int64_t>(
+                               di.addr - last_addr_[sid])));
+        last_addr_[sid] = di.addr;
+        break;
+      case kIntLoad:
+        p = writeVarint(p, zigzagEncode(static_cast<int64_t>(
+                               di.addr - last_addr_[sid])));
+        last_addr_[sid] = di.addr;
+        p = writeVarint(p, zigzagEncode(static_cast<int64_t>(
+                               di.loadValueBits - last_bits_[sid])));
+        last_bits_[sid] = di.loadValueBits;
+        break;
+      case kFpLoad:
+        p = writeVarint(p, zigzagEncode(static_cast<int64_t>(
+                               di.addr - last_addr_[sid])));
+        last_addr_[sid] = di.addr;
+        p = writeVarint(p, di.loadValueBits ^ last_bits_[sid]);
+        last_bits_[sid] = di.loadValueBits;
+        break;
+      case kBranch: {
+        const uint32_t bit = chunk_branches_++;
+        if (di.taken)
+            branch_bits_[bit >> 3] |=
+                static_cast<uint8_t>(1u << (bit & 7));
+        break;
+      }
+    }
+    payload_pos_ = static_cast<size_t>(p - base);
+    instructions_++;
+    if (++chunk_events_ == kChunkEvents)
+        sealChunk();
+}
+
+void
+TraceRecorder::onInstr(const DynInstr &di)
+{
+    encodeOne(di);
+}
+
+void
+TraceRecorder::onBatch(const DynInstr *batch, size_t n)
+{
+    for (size_t i = 0; i < n; i++)
+        encodeOne(batch[i]);
+}
+
+void
+TraceRecorder::onRunEnd()
+{
+    payload_[payload_pos_++] = 0; // run-boundary marker (code 0)
+    runs_++;
+    if (++chunk_events_ == kChunkEvents)
+        sealChunk();
+}
+
+void
+TraceRecorder::sealChunk()
+{
+    if (chunk_events_ == 0)
+        return;
+    const size_t bitmap_bytes = (chunk_branches_ + 7) / 8;
+    EncodedTrace::Chunk chunk;
+    chunk.numEvents = chunk_events_;
+    chunk.bitmapOffset = static_cast<uint32_t>(payload_pos_);
+    chunk.bytes.reserve(payload_pos_ + bitmap_bytes);
+    chunk.bytes.assign(payload_.begin(),
+                       payload_.begin() + payload_pos_);
+    chunk.bytes.insert(chunk.bytes.end(), branch_bits_.begin(),
+                       branch_bits_.begin() + bitmap_bytes);
+    trace_.appendChunk(std::move(chunk));
+    std::fill(branch_bits_.begin(),
+              branch_bits_.begin() + bitmap_bytes, 0);
+    payload_pos_ = 0;
+    chunk_events_ = 0;
+    chunk_branches_ = 0;
+}
+
+EncodedTrace
+TraceRecorder::finish()
+{
+    sealChunk();
+    trace_.setCounts(instructions_, runs_);
+    return std::move(trace_);
+}
+
+// --- TraceReplayer ----------------------------------------------------
+
+TraceReplayer::TraceReplayer(const EncodedTrace &trace,
+                             const ir::Program &prog)
+    : trace_(trace), batch_(kBatchCapacity),
+      last_addr_(prog.sidLimit(), 0), last_bits_(prog.sidLimit(), 0)
+{
+    if (prog.sidLimit() != trace.sidLimit())
+        fatal("replay program sid space differs from the recording "
+              "(trace was captured from a different program)");
+    const std::vector<const ir::Instr *> table = buildSidTable(prog);
+    sid_.resize(table.size());
+    for (size_t s = 0; s < table.size(); s++) {
+        sid_[s].proto.instr = table[s];
+        if (table[s])
+            sid_[s].kind = static_cast<uint8_t>(kindOf(table[s]->op));
+    }
+}
+
+void
+TraceReplayer::flush(size_t n)
+{
+    for (TraceSink *s : sinks_)
+        s->onBatch(batch_.data(), n);
+}
+
+uint64_t
+TraceReplayer::replay()
+{
+    const uint64_t sid_limit = trace_.sidLimit();
+    const SidDecode *sids = sid_.data();
+    uint64_t *last_addr = last_addr_.data();
+    uint64_t *last_bits = last_bits_.data();
+    DynInstr *batch = batch_.data();
+    uint64_t instructions = 0;
+    uint64_t seq = 0;
+    uint64_t prev_sid = 0;
+    size_t bn = 0;
+
+    for (const EncodedTrace::Chunk &chunk : trace_.chunks()) {
+        const uint8_t *p = chunk.bytes.data();
+        const uint8_t *end = p + chunk.bitmapOffset;
+        const uint8_t *bitmap = end;
+        const uint8_t *bitmap_end =
+            chunk.bytes.data() + chunk.bytes.size();
+        uint32_t branch_idx = 0;
+        for (uint32_t e = 0; e < chunk.numEvents; e++) {
+            // Keep the streamed payload from evicting the sinks'
+            // working sets: it is read once, so fetch ahead with
+            // non-temporal locality.
+            __builtin_prefetch(p + 512, 0, 0);
+            const uint64_t code = readVarint(p, end);
+            if (__builtin_expect(code == 0, 0)) {
+                // Run boundary: flush, then onRunEnd, exactly as the
+                // interpreter orders them; seq restarts per run.
+                if (bn > 0) {
+                    flush(bn);
+                    bn = 0;
+                }
+                for (TraceSink *s : sinks_)
+                    s->onRunEnd();
+                seq = 0;
+                continue;
+            }
+            const uint64_t sid =
+                prev_sid + static_cast<uint64_t>(zigzagDecode(code - 1));
+            prev_sid = sid;
+            if (__builtin_expect(sid >= sid_limit, 0))
+                fatal("event sid out of range (corrupt trace)");
+            const SidDecode &sd = sids[sid];
+            DynInstr &di = batch[bn];
+            di = sd.proto; // one copy: instr set, dynamic fields zeroed
+            di.seq = seq++;
+            switch (sd.kind) {
+              case kPlain:
+                break;
+              case kMem:
+                di.addr = last_addr[sid] += static_cast<uint64_t>(
+                    zigzagDecode(readVarint(p, end)));
+                break;
+              case kIntLoad:
+                di.addr = last_addr[sid] += static_cast<uint64_t>(
+                    zigzagDecode(readVarint(p, end)));
+                di.loadValueBits = last_bits[sid] +=
+                    static_cast<uint64_t>(
+                        zigzagDecode(readVarint(p, end)));
+                break;
+              case kFpLoad:
+                di.addr = last_addr[sid] += static_cast<uint64_t>(
+                    zigzagDecode(readVarint(p, end)));
+                di.loadValueBits = last_bits[sid] ^=
+                    readVarint(p, end);
+                break;
+              case kBranch: {
+                const uint32_t bit = branch_idx++;
+                if (bitmap + (bit >> 3) >= bitmap_end)
+                    fatal("branch bitmap overrun (corrupt trace)");
+                di.taken = (bitmap[bit >> 3] >> (bit & 7)) & 1;
+                break;
+              }
+            }
+            instructions++;
+            if (++bn == kBatchCapacity) {
+                flush(bn);
+                bn = 0;
+            }
+        }
+        if (p != end)
+            fatal("chunk payload has trailing bytes (corrupt trace)");
+    }
+    if (bn > 0)
+        flush(bn);
+    return instructions;
+}
+
+} // namespace bioperf::vm

@@ -1,0 +1,235 @@
+#ifndef BIOPERF_VM_TRACE_CODEC_H_
+#define BIOPERF_VM_TRACE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+#include "vm/trace.h"
+
+namespace bioperf::vm {
+
+/**
+ * @file
+ * Record-once/replay-many trace codec.
+ *
+ * The interpreter tops out near tens of simulated MIPS because every
+ * analysis pass pays for full functional execution. The paper's
+ * methodology is trace-driven — one ATOM instrumentation pass feeds
+ * every analysis — so this codec decouples the two costs:
+ * `TraceRecorder` is a TraceSink that encodes the DynInstr stream into
+ * compact chunks once, and `TraceReplayer` decodes those chunks back
+ * into DynInstr batches and drives any existing sink (profilers,
+ * cache models, timing cores) through the unchanged onBatch() path,
+ * bit-identical to the live stream.
+ *
+ * Encoding (per event, targeting ≤8 bytes/instr average):
+ *  - varint(zigzag(sid - previous sid) + 1); static instructions
+ *    mostly execute in layout order, so the delta is usually a single
+ *    byte regardless of how many sids the program has. Code 0 marks
+ *    an Interpreter::run() boundary so replay reproduces onRunEnd()
+ *    calls and per-run seq numbering;
+ *  - memory ops append zigzag-varint of the effective-address delta
+ *    against the *same static instruction's* previous address, so
+ *    constant-stride loads cost one or two bytes;
+ *  - integer loads append zigzag-varint of the value delta per sid;
+ *    FP loads append varint of (bits XOR previous bits per sid),
+ *    which exploits exponent/sign locality of successive values;
+ *  - branch directions go into a per-chunk bitmap (one bit per Br,
+ *    appended after the event payload).
+ *
+ * Everything else in DynInstr (seq, zero addr/value for non-memory
+ * ops, taken=false for non-branches) is reconstructed, not stored.
+ * Codec state (per-sid last address/value) runs across chunk
+ * boundaries; chunks are framing for the on-disk format and for
+ * bounded-memory encoding, not independent decode units.
+ */
+
+/** LEB128 unsigned varint append. */
+void appendVarint(std::vector<uint8_t> &out, uint64_t v);
+
+/** Zigzag mapping for signed deltas. */
+constexpr uint64_t
+zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+constexpr int64_t
+zigzagDecode(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^
+           -static_cast<int64_t>(v & 1);
+}
+
+/**
+ * A recorded dynamic instruction stream in encoded form. Immutable
+ * once sealed by TraceRecorder::finish(); safe to share (by const
+ * reference) across concurrently replaying threads.
+ */
+class EncodedTrace
+{
+  public:
+    /**
+     * One frame of the stream: event payload followed by the chunk's
+     * branch-direction bitmap.
+     */
+    struct Chunk
+    {
+        std::vector<uint8_t> bytes;
+        /** Instruction events + run-end markers in this chunk. */
+        uint32_t numEvents = 0;
+        /** Offset of the branch bitmap within @a bytes. */
+        uint32_t bitmapOffset = 0;
+    };
+
+    /** Dynamic instructions recorded (run-end markers excluded). */
+    uint64_t instructions() const { return instructions_; }
+    /** Interpreter::run() invocations recorded. */
+    uint64_t runs() const { return runs_; }
+    /** One past the largest sid the source program could emit. */
+    uint32_t sidLimit() const { return sid_limit_; }
+
+    const std::vector<Chunk> &chunks() const { return chunks_; }
+
+    /** Total encoded bytes across all chunks. */
+    size_t totalBytes() const;
+    /** totalBytes() per recorded instruction (0 when empty). */
+    double bytesPerInstr() const;
+
+    /**
+     * Assembly interface for TraceRecorder and the .bptrace loader.
+     * Not for general use: appended chunks must come from the codec.
+     */
+    void setSidLimit(uint32_t limit) { sid_limit_ = limit; }
+    void setCounts(uint64_t instructions, uint64_t runs)
+    {
+        instructions_ = instructions;
+        runs_ = runs;
+    }
+    void appendChunk(Chunk chunk) { chunks_.push_back(std::move(chunk)); }
+
+  private:
+    std::vector<Chunk> chunks_;
+    uint64_t instructions_ = 0;
+    uint64_t runs_ = 0;
+    uint32_t sid_limit_ = 0;
+};
+
+/**
+ * TraceSink that encodes the live stream into an EncodedTrace.
+ * Attach to an Interpreter, run the workload, then call finish().
+ * Recording adds only a few ns per instruction on top of the
+ * interpreter, so capture piggybacks on any live run.
+ */
+class TraceRecorder : public TraceSink
+{
+  public:
+    /** Events per chunk before the frame is sealed. */
+    static constexpr uint32_t kChunkEvents = 1u << 16;
+
+    explicit TraceRecorder(const ir::Program &prog);
+
+    void onInstr(const DynInstr &di) override;
+    void onBatch(const DynInstr *batch, size_t n) override;
+    void onRunEnd() override;
+
+    /**
+     * Seals the trace and returns it. The recorder must not be used
+     * afterwards. Call after the driver completes (the final
+     * onRunEnd() has fired).
+     */
+    EncodedTrace finish();
+
+  private:
+    void encodeOne(const DynInstr &di);
+    void sealChunk();
+
+    /** Worst-case encoded bytes for one event (sid + two deltas). */
+    static constexpr size_t kMaxEventBytes = 26;
+
+    EncodedTrace trace_;
+    /**
+     * Fixed scratch sized for a worst-case chunk, written through raw
+     * pointers (per-byte push_back dominated encode cost otherwise);
+     * sealChunk() copies out only the payload_pos_ bytes in use.
+     */
+    std::vector<uint8_t> payload_;
+    size_t payload_pos_ = 0;
+    std::vector<uint8_t> branch_bits_;
+    uint32_t chunk_events_ = 0;
+    uint32_t chunk_branches_ = 0;
+    uint64_t instructions_ = 0;
+    uint64_t runs_ = 0;
+    /** Previous event's sid (delta encoding; spans chunks/runs). */
+    uint64_t prev_sid_ = 0;
+    /** sid -> decode kind (see trace_codec.cc). */
+    std::vector<uint8_t> kind_of_sid_;
+    /** Per-sid previous effective address / load value. */
+    std::vector<uint64_t> last_addr_;
+    std::vector<uint64_t> last_bits_;
+};
+
+/**
+ * Decodes an EncodedTrace and drives attached sinks through the
+ * standard onBatch()/onRunEnd() protocol, event-for-event identical
+ * to the live interpreter stream that was recorded.
+ *
+ * The replayer holds per-replay decode state only; many replayers may
+ * consume one shared immutable EncodedTrace concurrently (each
+ * ThreadPool sweep worker constructs its own). @a prog must be
+ * structurally identical to the recording program (same sid space) —
+ * in practice the recording program itself, or one rebuilt from the
+ * same (app, variant, scale, seed[, register file]) recipe.
+ */
+class TraceReplayer
+{
+  public:
+    TraceReplayer(const EncodedTrace &trace, const ir::Program &prog);
+
+    void addSink(TraceSink *sink) { sinks_.push_back(sink); }
+
+    /**
+     * Replays the whole trace. @return instructions delivered, which
+     * callers should check against trace.instructions() when the
+     * trace came from untrusted storage.
+     */
+    uint64_t replay();
+
+  private:
+    /** Batch buffer size; mirrors Interpreter::kBatchCapacity. */
+    static constexpr size_t kBatchCapacity = 512;
+
+    void flush(size_t n);
+
+    const EncodedTrace &trace_;
+    std::vector<TraceSink *> sinks_;
+    /**
+     * Per-sid decode recipe: a prototype DynInstr (instr pointer set,
+     * dynamic fields zeroed) the hot loop copies in one go, plus the
+     * decode kind selecting which fields to overwrite. One indexed
+     * load replaces separate instr/kind lookups and field-by-field
+     * zeroing.
+     */
+    struct SidDecode
+    {
+        DynInstr proto{};
+        uint8_t kind = 0; ///< decode kind (see trace_codec.cc)
+    };
+    std::vector<SidDecode> sid_;
+    std::vector<DynInstr> batch_;
+    std::vector<uint64_t> last_addr_;
+    std::vector<uint64_t> last_bits_;
+};
+
+/**
+ * sid -> instruction table for @a prog (nullptr for unused sids).
+ * Shared helper for the replayer and trace validation.
+ */
+std::vector<const ir::Instr *> buildSidTable(const ir::Program &prog);
+
+} // namespace bioperf::vm
+
+#endif // BIOPERF_VM_TRACE_CODEC_H_
