@@ -22,15 +22,20 @@
  *    warm cost — what every repeated sweep job actually pays).
  *
  * Results are bit-identical across all four deliveries (the bench
- * fails if not); only wall-clock changes. A final section times a
+ * fails if not); only wall-clock changes. A further section times a
  * four-platform Simulator::sweep() over one workload with the trace
- * cache off versus on.
+ * cache off versus on, and a final section compares full detailed
+ * replay against sampled timing (Simulator::sampleTiming) per trace:
+ * single-threaded and keyframe-sharded, checking the sampled CPI
+ * projection lands within 2% of the full-replay CPI and that the
+ * sharded run merges bit-identically to the single-threaded one.
  *
  * Writes BENCH_sim_throughput.json into the current directory.
  *
  *   ./bench/sim_throughput [small] [reps]
  */
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -309,6 +314,85 @@ main(int argc, char **argv)
                 "cache (%.2fx)\n", sweep_wall_live, sweep_wall_cached,
                 sweep_speedup);
 
+    // Sampled timing versus full detailed replay, per recorded trace.
+    // Library-default sampling options: on Medium each shard decodes
+    // only a keyframe-aligned window and skips the rest outright; on
+    // Small the traces are shorter than one sampling unit and the
+    // estimator falls back to exhaustive replay (error 0 by
+    // construction), so the accuracy gate stays meaningful at both
+    // scales.
+    const cpu::PlatformConfig sample_platform = cpu::alpha21264();
+    double sampled_full_wall = 0.0, sampled_wall = 0.0;
+    double sharded_wall = 0.0;
+    double sampled_err = 0.0;
+    uint64_t sampled_instrs = 0, sampled_measured = 0;
+    bool sampled_identical = true;
+    for (const auto &app : list) {
+        const core::TraceCache::Ptr trace = traces[app.name];
+        double best_full = 0.0, best_sampled = 0.0;
+        double best_sharded = 0.0;
+        core::TimingResult full;
+        core::SampledTimingResult sampled, sharded;
+        for (int rep = 0; rep < reps; rep++) {
+            double t = now();
+            full = core::Simulator::timeReplay(*trace,
+                                               sample_platform);
+            double dt = now() - t;
+            if (rep == 0 || dt < best_full)
+                best_full = dt;
+            core::SamplingOptions so;
+            so.threads = 1;
+            t = now();
+            sampled = core::Simulator::sampleTiming(
+                *trace, sample_platform, so);
+            dt = now() - t;
+            if (rep == 0 || dt < best_sampled)
+                best_sampled = dt;
+            so.threads = 0;
+            t = now();
+            sharded = core::Simulator::sampleTiming(
+                *trace, sample_platform, so);
+            dt = now() - t;
+            if (rep == 0 || dt < best_sharded)
+                best_sharded = dt;
+        }
+        sampled_identical &=
+            sampled.report().dump() == sharded.report().dump();
+        const double err = full.cycles == 0
+            ? 0.0
+            : std::abs(sampled.projectedCycles -
+                       static_cast<double>(full.cycles)) /
+                  static_cast<double>(full.cycles);
+        sampled_err = std::max(sampled_err, err);
+        sampled_full_wall += best_full;
+        sampled_wall += best_sampled;
+        sharded_wall += best_sharded;
+        sampled_instrs += trace->instructions;
+        sampled_measured += sampled.measuredInstructions;
+        std::printf("sampled timing %-12s: full %.3f s, sampled "
+                    "%.3f s (%.2fx), CPI error %.2f%%%s\n",
+                    app.name.c_str(), best_full, best_sampled,
+                    best_sampled == 0.0 ? 0.0
+                                        : best_full / best_sampled,
+                    100.0 * err,
+                    sampled.exhaustive ? " [exhaustive]" : "");
+    }
+    const double sampled_speedup = sampled_wall == 0.0
+        ? 0.0 : sampled_full_wall / sampled_wall;
+    const double sharded_speedup = sharded_wall == 0.0
+        ? 0.0 : sampled_full_wall / sharded_wall;
+    const double sampled_coverage = sampled_instrs == 0
+        ? 0.0
+        : static_cast<double>(sampled_measured) /
+              static_cast<double>(sampled_instrs);
+    const bool sampled_ok = sampled_identical && sampled_err <= 0.02;
+    std::printf("sampled timing: %.2fx single-thread, %.2fx sharded, "
+                "max CPI error %.2f%%, coverage %.1f%%, sharded "
+                "merge identical: %s\n", sampled_speedup,
+                sharded_speedup, 100.0 * sampled_err,
+                100.0 * sampled_coverage,
+                sampled_identical ? "yes" : "NO");
+
     util::json::Value runs = util::json::Value::array();
     for (const auto &m : ms) {
         h.manifest().addStage(m.mode + "/" + m.delivery, m.seconds,
@@ -322,6 +406,23 @@ main(int argc, char **argv)
         if (m.recordSeconds > 0.0)
             one["record_seconds"] = m.recordSeconds;
         runs.push(std::move(one));
+    }
+    for (const char *delivery : { "sampled", "sampled-sharded" }) {
+        const bool sharded = delivery[7] != '\0';
+        const double secs = sharded ? sharded_wall : sampled_wall;
+        util::json::Value one = util::json::Value::object();
+        one["mode"] = "timing";
+        one["delivery"] = delivery;
+        one["instructions"] = sampled_instrs;
+        one["seconds"] = secs;
+        one["mips"] = secs == 0.0
+            ? 0.0
+            : static_cast<double>(sampled_instrs) / secs / 1e6;
+        one["coverage"] = sampled_coverage;
+        one["cpi_error"] = sampled_err;
+        runs.push(std::move(one));
+        h.manifest().addStage(std::string("timing/") + delivery, secs,
+                              sampled_instrs);
     }
     h.manifest().addStage("sweep/live", sweep_wall_live,
                           sweep_instrs);
@@ -342,6 +443,14 @@ main(int argc, char **argv)
     h.metrics()["sweep_wall_live_seconds"] = sweep_wall_live;
     h.metrics()["sweep_wall_cached_seconds"] = sweep_wall_cached;
     h.metrics()["sweep_cached_speedup"] = sweep_speedup;
+    h.metrics()["sampled_full_wall_seconds"] = sampled_full_wall;
+    h.metrics()["sampled_wall_seconds"] = sampled_wall;
+    h.metrics()["sharded_sampled_wall_seconds"] = sharded_wall;
+    h.metrics()["sampled_speedup"] = sampled_speedup;
+    h.metrics()["sharded_sampled_speedup"] = sharded_speedup;
+    h.metrics()["sampled_cpi_error"] = sampled_err;
+    h.metrics()["sampled_coverage"] = sampled_coverage;
+    h.metrics()["sampled_results_identical"] = sampled_identical;
     h.metrics()["results_identical"] = identical;
-    return h.finish(identical);
+    return h.finish(identical && sampled_ok);
 }

@@ -27,11 +27,18 @@ SIM_THROUGHPUT_METRICS = (
     "bytes_per_instr", "replay_mips", "record_mips",
     "sweep_wall_live_seconds", "sweep_wall_cached_seconds",
     "sweep_cached_speedup", "results_identical",
+    "sampled_full_wall_seconds", "sampled_wall_seconds",
+    "sharded_sampled_wall_seconds", "sampled_speedup",
+    "sharded_sampled_speedup", "sampled_cpi_error",
+    "sampled_coverage", "sampled_results_identical",
 )
 SIM_THROUGHPUT_RUN_KEYS = ("mode", "delivery", "instructions",
                            "seconds", "mips")
 SIM_THROUGHPUT_DELIVERIES = ("per-instr", "batched", "record+replay",
                              "replay")
+# Sampled rows additionally carry accuracy metadata.
+SIM_THROUGHPUT_SAMPLED_KEYS = ("coverage", "cpi_error")
+SIM_THROUGHPUT_SAMPLED_DELIVERIES = ("sampled", "sampled-sharded")
 
 
 def check(path: str) -> list:
@@ -80,9 +87,22 @@ def check_sim_throughput(metrics: dict, errors: list) -> None:
     if metrics.get("results_identical") is not True:
         errors.append("results_identical is not true: replay or the "
                       "cached sweep diverged from live execution")
+    if metrics.get("sampled_results_identical") is not True:
+        errors.append("sampled_results_identical is not true: sharded "
+                      "sampling diverged from the sequential estimator")
     bpi = metrics.get("bytes_per_instr")
     if isinstance(bpi, (int, float)) and not 0 < bpi <= 8:
         errors.append(f"bytes_per_instr {bpi} outside (0, 8]")
+    # The sampled estimator's acceptance bound. No numeric speedup gate
+    # here: CI runs the bench at Small scale, where traces are too
+    # short for genuine sampling and the exhaustive fallback (coverage
+    # 1, error 0, no speedup) is the correct behaviour.
+    err = metrics.get("sampled_cpi_error")
+    if not isinstance(err, (int, float)) or not 0 <= err <= 0.02:
+        errors.append(f"sampled_cpi_error {err!r} outside [0, 0.02]")
+    cov = metrics.get("sampled_coverage")
+    if not isinstance(cov, (int, float)) or not 0 < cov <= 1:
+        errors.append(f"sampled_coverage {cov!r} outside (0, 1]")
     runs = metrics.get("runs")
     if not isinstance(runs, list):
         errors.append("metrics.runs is not a list")
@@ -92,12 +112,19 @@ def check_sim_throughput(metrics: dict, errors: list) -> None:
         for key in SIM_THROUGHPUT_RUN_KEYS:
             if key not in run:
                 errors.append(f"runs[{i}] missing key: {key}")
+        if run.get("delivery") in SIM_THROUGHPUT_SAMPLED_DELIVERIES:
+            for key in SIM_THROUGHPUT_SAMPLED_KEYS:
+                if key not in run:
+                    errors.append(f"runs[{i}] missing key: {key}")
         seen.add((run.get("mode"), run.get("delivery")))
     for mode in ("characterize", "timing"):
         for delivery in SIM_THROUGHPUT_DELIVERIES:
             if (mode, delivery) not in seen:
                 errors.append(f"no run for mode={mode} "
                               f"delivery={delivery}")
+    for delivery in SIM_THROUGHPUT_SAMPLED_DELIVERIES:
+        if ("timing", delivery) not in seen:
+            errors.append(f"no run for mode=timing delivery={delivery}")
 
 
 def main(argv: list) -> int:

@@ -1,5 +1,7 @@
 #include "branch/predictors.h"
 
+#include <algorithm>
+
 namespace bioperf::branch {
 
 using detail::counterTaken;
@@ -20,6 +22,15 @@ BranchPredictor::growStats(uint32_t sid)
 {
     exec_.resize(sid + 1, 0);
     miss_.resize(sid + 1, 0);
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(exec_.begin(), exec_.end(), 0);
+    std::fill(miss_.begin(), miss_.end(), 0);
+    total_exec_ = 0;
+    total_miss_ = 0;
 }
 
 double
@@ -61,6 +72,13 @@ BimodalPredictor::train(uint32_t sid, bool taken)
     counters_[sid] = counterTrain(counters_[sid], taken);
 }
 
+void
+BimodalPredictor::reset()
+{
+    BranchPredictor::reset();
+    std::fill(counters_.begin(), counters_.end(), 2);
+}
+
 // --------------------------------------------------------------------------
 // Gshare
 // --------------------------------------------------------------------------
@@ -69,6 +87,14 @@ GsharePredictor::GsharePredictor(uint32_t history_bits)
     : history_bits_(history_bits),
       table_(size_t(1) << history_bits, 2)
 {
+}
+
+void
+GsharePredictor::reset()
+{
+    BranchPredictor::reset();
+    std::fill(table_.begin(), table_.end(), 2);
+    history_ = 0;
 }
 
 // --------------------------------------------------------------------------
@@ -87,6 +113,14 @@ LocalPredictor::grow(uint32_t sid)
     patterns_.resize(size_t(sid + 1) << history_bits_, 2);
 }
 
+void
+LocalPredictor::reset()
+{
+    BranchPredictor::reset();
+    std::fill(histories_.begin(), histories_.end(), 0);
+    std::fill(patterns_.begin(), patterns_.end(), 2);
+}
+
 // --------------------------------------------------------------------------
 // Hybrid
 // --------------------------------------------------------------------------
@@ -101,6 +135,17 @@ void
 HybridPredictor::growChooser(uint32_t sid)
 {
     chooser_.resize(sid + 1, 2);
+}
+
+void
+HybridPredictor::reset()
+{
+    BranchPredictor::reset();
+    local_.reset();
+    gshare_.reset();
+    std::fill(chooser_.begin(), chooser_.end(), 2);
+    last_local_pred_ = false;
+    last_gshare_pred_ = false;
 }
 
 bool

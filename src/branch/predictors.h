@@ -73,6 +73,14 @@ class BranchPredictor : public util::Reportable
     uint64_t totalMispredictions() const { return total_miss_; }
     double overallMissRate() const;
 
+    /**
+     * Returns the predictor to its initial state — statistics and all
+     * trained tables — while keeping allocated storage, mirroring
+     * mem::CacheHierarchy::reset(). Sampling shard workers call this
+     * between shards instead of reconstructing the predictor.
+     */
+    virtual void reset();
+
     util::json::Value report() const override;
 
     /**
@@ -154,6 +162,7 @@ class BimodalPredictor : public BranchPredictor
 {
   public:
     const char *name() const override { return "bimodal"; }
+    void reset() override;
 
   protected:
     bool predict(uint32_t sid) override;
@@ -172,6 +181,7 @@ class GsharePredictor final : public BranchPredictor
   public:
     explicit GsharePredictor(uint32_t history_bits = 12);
     const char *name() const override { return "gshare"; }
+    void reset() override;
 
     /**
      * Non-virtual inline prediction/training core, so composing
@@ -224,6 +234,7 @@ class LocalPredictor final : public BranchPredictor
   public:
     explicit LocalPredictor(uint32_t history_bits = 10);
     const char *name() const override { return "local"; }
+    void reset() override;
 
     /** Non-virtual inline core; see GsharePredictor::predictFast(). */
     bool
@@ -283,6 +294,7 @@ class HybridPredictor final : public BranchPredictor
     HybridPredictor(uint32_t local_history_bits = 10,
                     uint32_t global_history_bits = 12);
     const char *name() const override { return "hybrid"; }
+    void reset() override;
 
     /**
      * Flat inline override of the predict+train+record sequence: one

@@ -1,0 +1,666 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <functional>
+#include <future>
+
+#include "cpu/inorder_core.h"
+#include "cpu/ooo_core.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "vm/trace_codec.h"
+
+namespace bioperf::core {
+
+namespace {
+
+/** Warm actions, precomputed per sid like the codec's decode kinds. */
+enum WarmKind : uint8_t {
+    kWarmNone = 0,
+    kWarmRead = 1,   ///< loads and prefetches: read access
+    kWarmWrite = 2,  ///< stores: write access
+    kWarmBranch = 3, ///< conditional branches: train the predictor
+};
+
+/** Uniform counter access over the two core models. */
+struct CoreModel
+{
+    std::unique_ptr<cpu::OooCore> ooo;
+    std::unique_ptr<cpu::InorderCore> inorder;
+
+    CoreModel(const cpu::PlatformConfig &platform,
+              mem::CacheHierarchy *caches,
+              branch::BranchPredictor *predictor)
+    {
+        if (platform.core.outOfOrder)
+            ooo = std::make_unique<cpu::OooCore>(platform.core, caches,
+                                                 predictor);
+        else
+            inorder = std::make_unique<cpu::InorderCore>(
+                platform.core, caches, predictor);
+    }
+
+    vm::TraceSink *sink()
+    {
+        return ooo ? static_cast<vm::TraceSink *>(ooo.get())
+                   : inorder.get();
+    }
+    void reset() { ooo ? ooo->reset() : inorder->reset(); }
+    uint64_t cycles() const
+    {
+        return ooo ? ooo->cycles() : inorder->cycles();
+    }
+    uint64_t instructions() const
+    {
+        return ooo ? ooo->instructions() : inorder->instructions();
+    }
+    uint64_t mispredicts() const
+    {
+        return ooo ? ooo->branchMispredictions()
+                   : inorder->branchMispredictions();
+    }
+};
+
+/** Per-shard observations, merged in shard order on the main thread. */
+struct ShardResult
+{
+    std::vector<double> cpis; ///< one CPI per completed interval
+    uint64_t measuredInstructions = 0;
+    uint64_t measuredCycles = 0;
+    uint64_t measuredMispredicts = 0;
+    uint64_t delivered = 0;
+};
+
+/**
+ * Routing sink implementing one shard's warm/measure schedule: the
+ * first @a first_warm instructions of the shard warm functionally
+ * (the random phase offset), then the stream cycles through detailed
+ * warm-up, detailed measurement and a functional-warm gap. Batches
+ * are split at phase boundaries, so phase lengths are exact
+ * regardless of batch framing.
+ */
+class SampleRouter : public vm::TraceSink
+{
+  public:
+    SampleRouter(WarmupSink *warm, CoreModel *core)
+        : warm_(warm), core_(core)
+    {
+    }
+
+    void beginShard(ShardResult *out, uint64_t first_warm,
+                    uint64_t warmup_len, uint64_t detail_len,
+                    uint64_t warm_gap)
+    {
+        out_ = out;
+        warmup_len_ = warmup_len;
+        detail_len_ = detail_len;
+        warm_gap_ = warm_gap;
+        phase_ = Phase::Gap;
+        remaining_ = first_warm;
+    }
+
+    void onInstr(const vm::DynInstr &di) override { onBatch(&di, 1); }
+
+    void onBatch(const vm::DynInstr *batch, size_t n) override
+    {
+        while (n > 0) {
+            while (remaining_ == 0)
+                advance();
+            const size_t m =
+                n < remaining_ ? n : static_cast<size_t>(remaining_);
+            if (phase_ == Phase::Gap)
+                warm_->onBatch(batch, m);
+            else
+                core_->sink()->onBatch(batch, m);
+            remaining_ -= m;
+            batch += m;
+            n -= m;
+            // Close a completed measurement immediately: a shard may
+            // end exactly here, and its last interval still counts.
+            if (remaining_ == 0)
+                advance();
+        }
+    }
+
+    void onRunEnd() override
+    {
+        // The run boundary's scoreboard semantics apply to the core
+        // whatever the phase; warming holds no per-run state.
+        core_->sink()->onRunEnd();
+    }
+
+  private:
+    enum class Phase : uint8_t { Gap, Warmup, Measure };
+
+    void advance()
+    {
+        switch (phase_) {
+          case Phase::Gap:
+            phase_ = Phase::Warmup;
+            remaining_ = warmup_len_;
+            break;
+          case Phase::Warmup:
+            phase_ = Phase::Measure;
+            remaining_ = detail_len_;
+            cycles0_ = core_->cycles();
+            instr0_ = core_->instructions();
+            miss0_ = core_->mispredicts();
+            break;
+          case Phase::Measure: {
+            const uint64_t d_cycles = core_->cycles() - cycles0_;
+            const uint64_t d_instr = core_->instructions() - instr0_;
+            if (d_instr > 0) {
+                out_->cpis.push_back(
+                    static_cast<double>(d_cycles) /
+                    static_cast<double>(d_instr));
+                out_->measuredInstructions += d_instr;
+                out_->measuredCycles += d_cycles;
+                out_->measuredMispredicts +=
+                    core_->mispredicts() - miss0_;
+            }
+            phase_ = Phase::Gap;
+            remaining_ = warm_gap_;
+            break;
+          }
+        }
+    }
+
+    WarmupSink *warm_;
+    CoreModel *core_;
+    ShardResult *out_ = nullptr;
+    uint64_t warmup_len_ = 0;
+    uint64_t detail_len_ = 1;
+    uint64_t warm_gap_ = 0;
+    uint64_t remaining_ = 0;
+    Phase phase_ = Phase::Gap;
+    uint64_t cycles0_ = 0;
+    uint64_t instr0_ = 0;
+    uint64_t miss0_ = 0;
+};
+
+/**
+ * Chunk access abstraction over the two trace homes. Instances are
+ * per-worker (the file reader owns a stream position); readRange()
+ * feeds chunks [begin, end) through the replayer's streaming API.
+ */
+class ChunkReader
+{
+  public:
+    virtual ~ChunkReader() = default;
+    virtual uint64_t startSeq(size_t idx) = 0;
+    /** @return empty string on success, else a diagnostic. */
+    virtual std::string readRange(size_t begin, size_t end,
+                                  vm::TraceReplayer &rep) = 0;
+};
+
+class MemoryReader final : public ChunkReader
+{
+  public:
+    explicit MemoryReader(const vm::EncodedTrace &trace)
+        : trace_(&trace)
+    {
+    }
+    uint64_t startSeq(size_t idx) override
+    {
+        return trace_->chunks()[idx].startSeq;
+    }
+    std::string readRange(size_t begin, size_t end,
+                          vm::TraceReplayer &rep) override
+    {
+        for (size_t i = begin; i < end; i++)
+            rep.streamChunk(trace_->chunks()[i]);
+        return "";
+    }
+
+  private:
+    const vm::EncodedTrace *trace_;
+};
+
+class FileReader final : public ChunkReader
+{
+  public:
+    std::string open(const std::string &path)
+    {
+        return stream_.open(path);
+    }
+    uint64_t startSeq(size_t idx) override
+    {
+        return stream_.chunkStartSeq(idx);
+    }
+    std::string readRange(size_t begin, size_t end,
+                          vm::TraceReplayer &rep) override
+    {
+        if (std::string err = stream_.seekToChunk(begin); !err.empty())
+            return err;
+        std::string io;
+        for (size_t i = begin; i < end; i++) {
+            if (!stream_.next(chunk_, io))
+                return io.empty() ? "unexpected end of chunk stream"
+                                  : io;
+            rep.streamChunk(chunk_);
+        }
+        return "";
+    }
+
+  private:
+    TraceFileStream stream_;
+    vm::EncodedTrace::Chunk chunk_; ///< reused scratch buffer
+};
+
+using ReaderFactory =
+    std::function<std::unique_ptr<ChunkReader>(std::string &)>;
+
+/** One worker's whole simulation stack, reused across its shards. */
+struct WorkerStack
+{
+    mem::CacheHierarchy caches;
+    std::unique_ptr<branch::BranchPredictor> predictor;
+    CoreModel core;
+    WarmupSink warm;
+    SampleRouter router;
+    vm::TraceReplayer replayer;
+
+    WorkerStack(const ir::Program &prog,
+                const cpu::PlatformConfig &platform)
+        : caches(platform.makeHierarchy()),
+          predictor(platform.makePredictor()),
+          core(platform, &caches, predictor.get()),
+          warm(prog, &caches, predictor.get()),
+          router(&warm, &core), replayer(prog)
+    {
+        replayer.addSink(&router);
+    }
+};
+
+struct ShardGeometry
+{
+    size_t numShards = 0;
+    size_t chunksPerShard = 0;
+};
+
+size_t
+roundUpToKeyframe(size_t chunks, uint32_t keyframe_interval)
+{
+    return (chunks + keyframe_interval - 1) / keyframe_interval *
+           keyframe_interval;
+}
+
+ShardGeometry
+shardGeometry(size_t num_chunks, uint32_t keyframe_interval,
+              uint32_t shard_chunks)
+{
+    ShardGeometry g;
+    if (num_chunks == 0)
+        return g;
+    // Shards must enter the stream at keyframes.
+    const size_t per = roundUpToKeyframe(
+        shard_chunks == 0 ? 8u * keyframe_interval : shard_chunks,
+        keyframe_interval);
+    g.chunksPerShard = per;
+    g.numShards = (num_chunks + per - 1) / per;
+    return g;
+}
+
+/** What one shard actually decodes and how its schedule starts. */
+struct ShardPlan
+{
+    size_t w0 = 0; ///< first decoded chunk (a keyframe)
+    size_t w1 = 0; ///< one past the last decoded chunk
+    /** Functional-warm instructions before the first warmup phase. */
+    uint64_t firstWarm = 0;
+};
+
+/**
+ * Plans shard @a shard spanning chunks [c0, c1): places the decode
+ * window at a random keyframe-aligned slot inside the span and draws
+ * the random phase offset. A fresh Rng (and a fixed draw order:
+ * window slot first, then offset) keeps the plan a pure function of
+ * (seed, shard), independent of which worker replays it.
+ */
+ShardPlan
+planShard(const SamplingOptions &o, size_t shard, size_t c0, size_t c1,
+          size_t window_chunks, uint32_t keyframe_interval)
+{
+    util::Rng rng(o.seed + 0x9e3779b97f4a7c15ull * (shard + 1));
+    const size_t span = c1 - c0;
+    const size_t slots =
+        span > window_chunks
+            ? (span - window_chunks) / keyframe_interval + 1
+            : 1;
+    ShardPlan plan;
+    plan.w0 = c0 + keyframe_interval * rng.nextBelow(slots);
+    plan.w1 = std::min(c1, plan.w0 + window_chunks);
+    plan.firstWarm = o.minWarm + rng.nextBelow(o.interval);
+    return plan;
+}
+
+SampledTimingResult
+mergeShards(const std::vector<ShardResult> &results,
+            uint64_t total_instructions, double clock_ghz,
+            bool verified)
+{
+    SampledTimingResult out;
+    util::RunningStats stats;
+    for (const ShardResult &r : results) {
+        for (double c : r.cpis)
+            stats.add(c);
+        out.measuredInstructions += r.measuredInstructions;
+        out.measuredCycles += r.measuredCycles;
+        out.measuredMispredicts += r.measuredMispredicts;
+    }
+    out.intervals = stats.count();
+    out.shards = results.size();
+    out.instructions = total_instructions;
+    out.verified = verified;
+    if (stats.count() > 0) {
+        out.cpi = stats.mean();
+        out.ipc = out.cpi > 0.0 ? 1.0 / out.cpi : 0.0;
+        out.ci95 = stats.ci95();
+        out.cv = stats.cv();
+        out.coverage =
+            total_instructions == 0
+                ? 0.0
+                : static_cast<double>(out.measuredInstructions) /
+                      static_cast<double>(total_instructions);
+        out.projectedCycles =
+            out.cpi * static_cast<double>(total_instructions);
+        out.seconds = out.projectedCycles / (clock_ghz * 1e9);
+    }
+    return out;
+}
+
+/** Full detailed replay, for traces too short to sample. */
+SampledTimingResult
+runExhaustive(const ir::Program &prog,
+              const cpu::PlatformConfig &platform, ChunkReader &reader,
+              size_t num_chunks, uint64_t total_instructions,
+              bool verified, std::string &error)
+{
+    SampledTimingResult out;
+    out.exhaustive = true;
+    out.shards = 1;
+    out.instructions = total_instructions;
+    out.verified = verified;
+
+    mem::CacheHierarchy caches = platform.makeHierarchy();
+    auto predictor = platform.makePredictor();
+    CoreModel core(platform, &caches, predictor.get());
+    vm::TraceReplayer rep(prog);
+    rep.addSink(core.sink());
+    rep.beginStream(0);
+    if (std::string err = reader.readRange(0, num_chunks, rep);
+        !err.empty()) {
+        error = std::move(err);
+        return out;
+    }
+    rep.endStream();
+
+    out.measuredInstructions = core.instructions();
+    out.measuredCycles = core.cycles();
+    out.measuredMispredicts = core.mispredicts();
+    if (core.cycles() > 0 && core.instructions() > 0) {
+        out.cpi = static_cast<double>(core.cycles()) /
+                  static_cast<double>(core.instructions());
+        out.ipc = 1.0 / out.cpi;
+    }
+    out.coverage = 1.0;
+    out.projectedCycles = static_cast<double>(core.cycles());
+    out.seconds = out.projectedCycles / (platform.core.clockGhz * 1e9);
+    return out;
+}
+
+SampledTimingResult
+runSampled(const ir::Program &prog, const cpu::PlatformConfig &platform,
+           const SamplingOptions &opts, size_t num_chunks,
+           uint32_t keyframe_interval, uint64_t total_instructions,
+           bool verified, const ReaderFactory &make_reader,
+           std::string &error)
+{
+    SampledTimingResult out;
+    SamplingOptions o = opts;
+    if (o.detailLen == 0)
+        o.detailLen = 1;
+    if (o.interval < o.warmupLen + o.detailLen)
+        o.interval = o.warmupLen + o.detailLen;
+    const uint64_t warm_gap = o.interval - o.warmupLen - o.detailLen;
+
+    const ShardGeometry geo =
+        shardGeometry(num_chunks, keyframe_interval, o.shardChunks);
+    if (geo.numShards == 0) {
+        out.verified = verified;
+        out.instructions = total_instructions;
+        return out;
+    }
+    const size_t window_chunks = std::min<size_t>(
+        geo.chunksPerShard,
+        roundUpToKeyframe(
+            o.windowChunks == 0
+                ? std::max<size_t>(keyframe_interval,
+                                   geo.chunksPerShard * 3 / 8)
+                : o.windowChunks,
+            keyframe_interval));
+    std::vector<ShardResult> results(geo.numShards);
+
+    auto runRange = [&](WorkerStack &ws, ChunkReader &reader,
+                        size_t s0, size_t s1) -> std::string {
+        for (size_t s = s0; s < s1; s++) {
+            const size_t c0 = s * geo.chunksPerShard;
+            const size_t c1 =
+                std::min(num_chunks, c0 + geo.chunksPerShard);
+            const ShardPlan plan = planShard(
+                o, s, c0, c1, window_chunks, keyframe_interval);
+            // The per-shard reset is what makes shards independent —
+            // and therefore mergeable in any execution order.
+            ws.caches.reset();
+            ws.predictor->reset();
+            ws.core.reset();
+            ws.router.beginShard(&results[s], plan.firstWarm,
+                                 o.warmupLen, o.detailLen, warm_gap);
+            ws.replayer.beginStream(reader.startSeq(plan.w0));
+            if (std::string err =
+                    reader.readRange(plan.w0, plan.w1, ws.replayer);
+                !err.empty())
+                return err;
+            results[s].delivered = ws.replayer.endStream();
+        }
+        return "";
+    };
+
+    unsigned threads = o.threads == 0
+                           ? util::ThreadPool::defaultThreads()
+                           : o.threads;
+    if (threads > geo.numShards)
+        threads = static_cast<unsigned>(geo.numShards);
+
+    if (threads <= 1) {
+        std::string err;
+        std::unique_ptr<ChunkReader> reader = make_reader(err);
+        if (!reader) {
+            error = std::move(err);
+            return out;
+        }
+        WorkerStack ws(prog, platform);
+        if (std::string e = runRange(ws, *reader, 0, geo.numShards);
+            !e.empty()) {
+            error = std::move(e);
+            return out;
+        }
+    } else {
+        util::ThreadPool pool(threads);
+        std::vector<std::future<std::string>> futures;
+        for (unsigned w = 0; w < threads; w++) {
+            const size_t s0 = geo.numShards * w / threads;
+            const size_t s1 = geo.numShards * (w + 1) / threads;
+            if (s0 == s1)
+                continue;
+            futures.push_back(
+                pool.submit([&, s0, s1]() -> std::string {
+                    std::string err;
+                    std::unique_ptr<ChunkReader> reader =
+                        make_reader(err);
+                    if (!reader)
+                        return err;
+                    WorkerStack ws(prog, platform);
+                    return runRange(ws, *reader, s0, s1);
+                }));
+        }
+        for (auto &f : futures) {
+            std::string err = f.get();
+            if (!err.empty() && error.empty())
+                error = std::move(err);
+        }
+        if (!error.empty())
+            return out;
+    }
+
+    out = mergeShards(results, total_instructions,
+                      platform.core.clockGhz, verified);
+    if (out.intervals == 0) {
+        // Too short for even one completed interval anywhere: measure
+        // the whole trace in detail instead of reporting nothing.
+        std::string err;
+        std::unique_ptr<ChunkReader> reader = make_reader(err);
+        if (!reader) {
+            error = std::move(err);
+            return out;
+        }
+        return runExhaustive(prog, platform, *reader, num_chunks,
+                             total_instructions, verified, error);
+    }
+    return out;
+}
+
+} // namespace
+
+// --- WarmupSink -------------------------------------------------------
+
+WarmupSink::WarmupSink(const ir::Program &prog,
+                       mem::CacheHierarchy *caches,
+                       branch::BranchPredictor *predictor)
+    : caches_(caches), predictor_(predictor)
+{
+    kind_of_sid_.assign(prog.sidLimit(), kWarmNone);
+    for (const ir::Instr *in : vm::buildSidTable(prog)) {
+        if (!in)
+            continue;
+        if (ir::isLoad(in->op) || in->op == ir::Opcode::Prefetch)
+            kind_of_sid_[in->sid] = kWarmRead;
+        else if (ir::isStore(in->op))
+            kind_of_sid_[in->sid] = kWarmWrite;
+        else if (in->op == ir::Opcode::Br)
+            kind_of_sid_[in->sid] = kWarmBranch;
+    }
+}
+
+void
+WarmupSink::onInstr(const vm::DynInstr &di)
+{
+    onBatch(&di, 1);
+}
+
+void
+WarmupSink::onBatch(const vm::DynInstr *batch, size_t n)
+{
+    // Same update semantics as the detailed cores' memory and branch
+    // paths, minus every cycle computation — keeping warm state
+    // unbiased relative to what a detailed interval would have built.
+    const uint8_t *kinds = kind_of_sid_.data();
+    for (size_t i = 0; i < n; i++) {
+        const vm::DynInstr &di = batch[i];
+        switch (kinds[di.instr->sid]) {
+          case kWarmNone:
+            break;
+          case kWarmRead:
+            caches_->access(di.addr, false);
+            break;
+          case kWarmWrite:
+            caches_->access(di.addr, true);
+            break;
+          case kWarmBranch:
+            predictor_->predictAndTrain(di.instr->sid, di.taken);
+            break;
+        }
+    }
+}
+
+// --- Entry points -----------------------------------------------------
+
+SampledTimingResult
+sampleTiming(const CachedTrace &trace,
+             const cpu::PlatformConfig &platform,
+             const SamplingOptions &opts)
+{
+    std::string error;
+    ReaderFactory make_reader =
+        [&trace](std::string &) -> std::unique_ptr<ChunkReader> {
+        return std::make_unique<MemoryReader>(trace.trace);
+    };
+    SampledTimingResult res = runSampled(
+        *trace.prog, platform, opts, trace.trace.chunks().size(),
+        trace.trace.keyframeInterval(), trace.trace.instructions(),
+        trace.verified, make_reader, error);
+    // The memory reader cannot fail; any error here would be a
+    // programming error surfaced by the codec's own fatal paths.
+    (void)error;
+    return res;
+}
+
+SampledFileResult
+sampleTimingFile(const std::string &path,
+                 const cpu::PlatformConfig &platform,
+                 const SamplingOptions &opts)
+{
+    SampledFileResult res;
+    TraceFileStream head;
+    if (std::string err = head.open(path); !err.empty()) {
+        res.error = std::move(err);
+        return res;
+    }
+    res.key = head.key();
+    std::unique_ptr<ir::Program> prog;
+    if (std::string err =
+            buildReplayProgram(head.key(), head.sidLimit(), prog);
+        !err.empty()) {
+        res.error = std::move(err);
+        return res;
+    }
+    ReaderFactory make_reader =
+        [&path](std::string &err) -> std::unique_ptr<ChunkReader> {
+        auto reader = std::make_unique<FileReader>();
+        err = reader->open(path);
+        if (!err.empty())
+            return nullptr;
+        return reader;
+    };
+    res.result = runSampled(*prog, platform, opts, head.numChunks(),
+                            head.keyframeInterval(),
+                            head.instructions(), head.verified(),
+                            make_reader, res.error);
+    return res;
+}
+
+util::json::Value
+SampledTimingResult::report() const
+{
+    util::json::Value v = util::json::Value::object();
+    v["mode"] = "sampled";
+    v["cpi"] = cpi;
+    v["ipc"] = ipc;
+    v["ci95"] = ci95;
+    v["cv"] = cv;
+    v["coverage"] = coverage;
+    v["projected_cycles"] = projectedCycles;
+    v["seconds"] = seconds;
+    v["instructions"] = instructions;
+    v["measured_instructions"] = measuredInstructions;
+    v["measured_cycles"] = measuredCycles;
+    v["measured_mispredicts"] = measuredMispredicts;
+    v["intervals"] = intervals;
+    v["shards"] = shards;
+    v["verified"] = verified;
+    v["exhaustive"] = exhaustive;
+    return v;
+}
+
+} // namespace bioperf::core

@@ -190,6 +190,14 @@ Simulator::timeReplay(const CachedTrace &trace,
     return res;
 }
 
+SampledTimingResult
+Simulator::sampleTiming(const CachedTrace &trace,
+                        const cpu::PlatformConfig &platform,
+                        const SamplingOptions &opts)
+{
+    return core::sampleTiming(trace, platform, opts);
+}
+
 std::vector<TimingResult>
 Simulator::timeReplayMany(
     const CachedTrace &trace,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "apps/app.h"
+#include "core/sampling.h"
 #include "core/trace_cache.h"
 #include "cpu/platforms.h"
 #include "profile/cache_profiler.h"
@@ -192,6 +193,19 @@ class Simulator
     static std::vector<TimingResult> timeReplayMany(
         const CachedTrace &trace,
         const std::vector<const cpu::PlatformConfig *> &platforms);
+
+    /**
+     * Sampled (approximate) timing from a recorded trace: alternates
+     * functional warming with detailed measurement intervals and
+     * reports mean CPI with a 95% confidence interval and projected
+     * full-run cycles, at a fraction of timeReplay()'s cost. With
+     * opts.threads != 1, keyframe-aligned shards of the single trace
+     * replay concurrently; results are bit-identical for any thread
+     * count at a fixed opts.seed. See core/sampling.h.
+     */
+    static SampledTimingResult sampleTiming(
+        const CachedTrace &trace, const cpu::PlatformConfig &platform,
+        const SamplingOptions &opts = {});
 
     /**
      * Rewrites every function of the application for the platform's

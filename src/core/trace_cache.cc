@@ -191,18 +191,25 @@ TraceCache::noteReplay(double seconds, uint64_t instructions)
 //   u64    seed
 //   u32    sidLimit          (fingerprint of the recording program)
 //   u64    runs
+//   u64    instructions      (v2: up front, so streaming readers know
+//                             the expected count before the chunks)
 //   u32    spills
+//   u32    keyframeInterval  (v2: random-access cadence)
 //   u32    appNameLen, bytes
 //   u32    numChunks
-//   chunk: u32 numEvents, u32 bitmapOffset, u32 byteLen, bytes
+//   chunk: u32 numEvents, u32 bitmapOffset, u64 startSeq (v2),
+//          u32 byteLen, bytes
 //   u64    instructions      (trailer: decoded-count cross-check)
 //   u32    end magic "BPTE"
+//
+// v1 lacked the header instruction count, keyframe interval and
+// per-chunk start seqs; v1 files are rejected (re-record them).
 
 namespace {
 
 constexpr char kTraceMagic[8] = { 'b', 'p', 't', 'r', 'a', 'c', 'e',
                                   '\0' };
-constexpr uint32_t kTraceFileVersion = 1;
+constexpr uint32_t kTraceFileVersion = 2;
 constexpr uint32_t kTraceEndMagic = 0x45545042; // "BPTE"
 
 struct FileCloser
@@ -274,7 +281,9 @@ saveTraceFile(const std::string &path, const TraceKey &key,
               writeScalar(f.get(), key.seed) &&
               writeScalar(f.get(), trace.trace.sidLimit()) &&
               writeScalar(f.get(), trace.trace.runs()) &&
+              writeScalar(f.get(), trace.trace.instructions()) &&
               writeScalar(f.get(), trace.spills) &&
+              writeScalar(f.get(), trace.trace.keyframeInterval()) &&
               writeScalar(f.get(),
                           static_cast<uint32_t>(app_name.size())) &&
               writeBytes(f.get(), app_name.data(), app_name.size()) &&
@@ -285,6 +294,7 @@ saveTraceFile(const std::string &path, const TraceKey &key,
             break;
         ok = writeScalar(f.get(), chunk.numEvents) &&
              writeScalar(f.get(), chunk.bitmapOffset) &&
+             writeScalar(f.get(), chunk.startSeq) &&
              writeScalar(f.get(),
                          static_cast<uint32_t>(chunk.bytes.size())) &&
              writeBytes(f.get(), chunk.bytes.data(),
@@ -300,6 +310,180 @@ saveTraceFile(const std::string &path, const TraceKey &key,
     return "";
 }
 
+// --- TraceFileStream --------------------------------------------------
+
+TraceFileStream::~TraceFileStream()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+std::string
+TraceFileStream::open(const std::string &path)
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    index_.clear();
+    next_chunk_ = 0;
+
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return "cannot open '" + path + "'";
+
+    char magic[8];
+    if (!readBytes(f.get(), magic, sizeof(magic)))
+        return "truncated file (no header)";
+    if (std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
+        return "not a .bptrace file (bad magic)";
+    uint32_t version = 0;
+    if (!readScalar(f.get(), version))
+        return "truncated file (no version)";
+    if (version != kTraceFileVersion)
+        return "unsupported .bptrace version " +
+               std::to_string(version) + " (expected " +
+               std::to_string(kTraceFileVersion) + ")";
+
+    uint8_t variant = 0, scale = 0, reg_pressure = 0, verified = 0;
+    uint32_t int_regs = 0, fp_regs = 0;
+    uint32_t name_len = 0, num_chunks = 0;
+    uint64_t seed = 0;
+    if (!readScalar(f.get(), variant) || !readScalar(f.get(), scale) ||
+        !readScalar(f.get(), reg_pressure) ||
+        !readScalar(f.get(), verified) ||
+        !readScalar(f.get(), int_regs) ||
+        !readScalar(f.get(), fp_regs) || !readScalar(f.get(), seed) ||
+        !readScalar(f.get(), sid_limit_) ||
+        !readScalar(f.get(), runs_) ||
+        !readScalar(f.get(), instructions_) ||
+        !readScalar(f.get(), spills_) ||
+        !readScalar(f.get(), keyframe_interval_) ||
+        !readScalar(f.get(), name_len))
+        return "truncated file (incomplete identity block)";
+    if (keyframe_interval_ == 0)
+        return "zero keyframe interval (corrupt header)";
+    if (name_len > 4096)
+        return "implausible app name length (corrupt header)";
+    std::string app_name(name_len, '\0');
+    if (!readBytes(f.get(), app_name.data(), name_len) ||
+        !readScalar(f.get(), num_chunks))
+        return "truncated file (incomplete identity block)";
+    verified_ = verified != 0;
+
+    key_ = TraceKey{};
+    key_.app = apps::findApp(app_name);
+    if (!key_.app)
+        return "trace was recorded for unknown application '" +
+               app_name + "'";
+    key_.variant = static_cast<apps::Variant>(variant);
+    key_.scale = static_cast<apps::Scale>(scale);
+    key_.seed = seed;
+    key_.registerPressure = reg_pressure != 0;
+    key_.intRegs = int_regs;
+    key_.fpRegs = fp_regs;
+
+    // Index pass: read each chunk's framing, skip its payload. After
+    // this the reader knows every chunk's offset without having held
+    // any payload bytes.
+    index_.reserve(num_chunks);
+    uint64_t event_instr_bound = 0;
+    for (uint32_t i = 0; i < num_chunks; i++) {
+        ChunkInfo info;
+        if (!readScalar(f.get(), info.numEvents) ||
+            !readScalar(f.get(), info.bitmapOffset) ||
+            !readScalar(f.get(), info.startSeq) ||
+            !readScalar(f.get(), info.byteLen))
+            return "truncated chunk header (chunk " +
+                   std::to_string(i) + " of " +
+                   std::to_string(num_chunks) + ")";
+        if (info.bitmapOffset > info.byteLen)
+            return "chunk bitmap offset beyond payload (corrupt "
+                   "framing)";
+        const long pos = std::ftell(f.get());
+        if (pos < 0)
+            return "cannot tell position in '" + path + "'";
+        info.offset = static_cast<uint64_t>(pos);
+        if (std::fseek(f.get(), static_cast<long>(info.byteLen),
+                       SEEK_CUR) != 0)
+            return "truncated chunk payload (chunk " +
+                   std::to_string(i) + ")";
+        event_instr_bound += info.numEvents;
+        index_.push_back(info);
+    }
+    uint64_t trailer_instructions = 0;
+    uint32_t end_magic = 0;
+    if (!readScalar(f.get(), trailer_instructions) ||
+        !readScalar(f.get(), end_magic))
+        return "truncated file (no trailer)";
+    if (end_magic != kTraceEndMagic)
+        return "bad trailer magic (corrupt or truncated file)";
+    if (trailer_instructions != instructions_)
+        return "trailer instruction count disagrees with the header "
+               "(corrupt file)";
+    if (instructions_ + runs_ != event_instr_bound)
+        return "instruction count disagrees with chunk framing "
+               "(corrupt file)";
+
+    file_ = f.release();
+    return seekToChunk(0);
+}
+
+std::string
+TraceFileStream::seekToChunk(size_t idx)
+{
+    if (!file_)
+        return "stream is not open";
+    if (idx > index_.size())
+        return "chunk index out of range";
+    next_chunk_ = idx;
+    return "";
+}
+
+bool
+TraceFileStream::next(vm::EncodedTrace::Chunk &chunk,
+                      std::string &error)
+{
+    if (next_chunk_ >= index_.size())
+        return false;
+    const ChunkInfo &info = index_[next_chunk_];
+    if (std::fseek(file_, static_cast<long>(info.offset), SEEK_SET) !=
+        0) {
+        error = "cannot seek to chunk " + std::to_string(next_chunk_);
+        return false;
+    }
+    chunk.numEvents = info.numEvents;
+    chunk.bitmapOffset = info.bitmapOffset;
+    chunk.startSeq = info.startSeq;
+    chunk.keyframe = isKeyframe(next_chunk_);
+    chunk.bytes.resize(info.byteLen);
+    if (!readBytes(file_, chunk.bytes.data(), info.byteLen)) {
+        error =
+            "truncated chunk payload (chunk " +
+            std::to_string(next_chunk_) + ")";
+        return false;
+    }
+    next_chunk_++;
+    return true;
+}
+
+std::string
+buildReplayProgram(const TraceKey &key, uint32_t sid_limit,
+                   std::unique_ptr<ir::Program> &out)
+{
+    if (!key.app)
+        return "trace has no application identity";
+    apps::AppRun run = key.app->make(key.variant, key.scale, key.seed);
+    if (key.registerPressure)
+        Simulator::applyRegisterPressure(run, key.intRegs, key.fpRegs);
+    if (run.prog->sidLimit() != sid_limit)
+        return "rebuilt program has a different sid space than the "
+               "recording (version skew between the trace and this "
+               "build)";
+    out = std::move(run.prog);
+    return "";
+}
+
 TraceLoadResult
 loadTraceFile(const std::string &path)
 {
@@ -310,110 +494,42 @@ loadTraceFile(const std::string &path)
         return res;
     };
 
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        return fail("cannot open '" + path + "'");
-
-    char magic[8];
-    if (!readBytes(f.get(), magic, sizeof(magic)))
-        return fail("truncated file (no header)");
-    if (std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
-        return fail("not a .bptrace file (bad magic)");
-    uint32_t version = 0;
-    if (!readScalar(f.get(), version))
-        return fail("truncated file (no version)");
-    if (version != kTraceFileVersion)
-        return fail("unsupported .bptrace version " +
-                    std::to_string(version) + " (expected " +
-                    std::to_string(kTraceFileVersion) + ")");
-
-    uint8_t variant = 0, scale = 0, reg_pressure = 0, verified = 0;
-    uint32_t int_regs = 0, fp_regs = 0, sid_limit = 0, spills = 0;
-    uint32_t name_len = 0, num_chunks = 0;
-    uint64_t seed = 0, runs = 0;
-    if (!readScalar(f.get(), variant) || !readScalar(f.get(), scale) ||
-        !readScalar(f.get(), reg_pressure) ||
-        !readScalar(f.get(), verified) ||
-        !readScalar(f.get(), int_regs) ||
-        !readScalar(f.get(), fp_regs) || !readScalar(f.get(), seed) ||
-        !readScalar(f.get(), sid_limit) ||
-        !readScalar(f.get(), runs) || !readScalar(f.get(), spills) ||
-        !readScalar(f.get(), name_len))
-        return fail("truncated file (incomplete identity block)");
-    if (name_len > 4096)
-        return fail("implausible app name length (corrupt header)");
-    std::string app_name(name_len, '\0');
-    if (!readBytes(f.get(), app_name.data(), name_len) ||
-        !readScalar(f.get(), num_chunks))
-        return fail("truncated file (incomplete identity block)");
+    TraceFileStream stream;
+    if (std::string err = stream.open(path); !err.empty())
+        return fail(std::move(err));
+    res.key = stream.key();
 
     auto ct = std::make_shared<CachedTrace>();
-    ct->verified = verified != 0;
-    ct->spills = spills;
-    ct->trace.setSidLimit(sid_limit);
-    uint64_t event_instr_bound = 0;
-    for (uint32_t i = 0; i < num_chunks; i++) {
-        vm::EncodedTrace::Chunk chunk;
-        uint32_t byte_len = 0;
-        if (!readScalar(f.get(), chunk.numEvents) ||
-            !readScalar(f.get(), chunk.bitmapOffset) ||
-            !readScalar(f.get(), byte_len))
-            return fail("truncated chunk header (chunk " +
-                        std::to_string(i) + " of " +
-                        std::to_string(num_chunks) + ")");
-        if (chunk.bitmapOffset > byte_len)
-            return fail("chunk bitmap offset beyond payload (corrupt "
-                        "framing)");
-        chunk.bytes.resize(byte_len);
-        if (!readBytes(f.get(), chunk.bytes.data(), byte_len))
-            return fail("truncated chunk payload (chunk " +
-                        std::to_string(i) + ")");
-        event_instr_bound += chunk.numEvents;
-        ct->trace.appendChunk(std::move(chunk));
-    }
-    uint64_t instructions = 0;
-    uint32_t end_magic = 0;
-    if (!readScalar(f.get(), instructions) ||
-        !readScalar(f.get(), end_magic))
-        return fail("truncated file (no trailer)");
-    if (end_magic != kTraceEndMagic)
-        return fail("bad trailer magic (corrupt or truncated file)");
-    if (instructions + runs != event_instr_bound)
-        return fail("trailer instruction count disagrees with chunk "
-                    "framing (corrupt file)");
-    ct->trace.setCounts(instructions, runs);
-    ct->instructions = instructions;
+    ct->verified = stream.verified();
+    ct->spills = stream.spills();
+    ct->instructions = stream.instructions();
+    ct->trace.setSidLimit(stream.sidLimit());
+    ct->trace.setKeyframeInterval(stream.keyframeInterval());
+    ct->trace.setCounts(stream.instructions(), stream.runs());
+    if (std::string err = buildReplayProgram(
+            res.key, stream.sidLimit(), ct->prog);
+        !err.empty())
+        return fail(std::move(err));
 
-    // Re-materialize the replay program from the stored recipe and
-    // validate that its sid space matches the recording.
-    res.key.app = apps::findApp(app_name);
-    if (!res.key.app)
-        return fail("trace was recorded for unknown application '" +
-                    app_name + "'");
-    res.key.variant = static_cast<apps::Variant>(variant);
-    res.key.scale = static_cast<apps::Scale>(scale);
-    res.key.seed = seed;
-    res.key.registerPressure = reg_pressure != 0;
-    res.key.intRegs = int_regs;
-    res.key.fpRegs = fp_regs;
-    apps::AppRun run = res.key.app->make(res.key.variant,
-                                         res.key.scale, res.key.seed);
-    if (res.key.registerPressure)
-        Simulator::applyRegisterPressure(run, int_regs, fp_regs);
-    if (run.prog->sidLimit() != sid_limit)
-        return fail("rebuilt program has a different sid space than "
-                    "the recording (version skew between the trace "
-                    "and this build)");
-    ct->prog = std::move(run.prog);
-
-    // Full decode pass with no sinks: proves every varint terminates
-    // and the stream reproduces the declared counts before any
-    // analysis consumes it.
+    // Single pass: each chunk is decode-validated (proving every
+    // varint terminates) as it streams off disk, then moved into the
+    // in-memory trace.
     RunCountSink counter;
-    vm::TraceReplayer validator(ct->trace, *ct->prog);
+    vm::TraceReplayer validator(*ct->prog);
     validator.addSink(&counter);
-    const uint64_t decoded = validator.replay();
-    if (decoded != instructions || counter.runs != runs)
+    validator.beginStream(0);
+    vm::EncodedTrace::Chunk chunk;
+    std::string io_error;
+    while (stream.next(chunk, io_error)) {
+        validator.streamChunk(chunk);
+        ct->trace.appendChunk(std::move(chunk));
+        chunk = vm::EncodedTrace::Chunk{};
+    }
+    if (!io_error.empty())
+        return fail(std::move(io_error));
+    const uint64_t decoded = validator.endStream();
+    if (decoded != stream.instructions() ||
+        counter.runs != stream.runs())
         return fail("decoded event counts disagree with the trailer "
                     "(corrupt payload)");
 

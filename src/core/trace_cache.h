@@ -2,11 +2,13 @@
 #define BIOPERF_CORE_TRACE_CACHE_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "apps/app.h"
 #include "util/metrics.h"
@@ -133,8 +135,9 @@ class TraceCache
  * variant, scale, seed, register file) plus the encoded chunks — not
  * the program, which the loader rebuilds deterministically from the
  * registry and validates by sid-space fingerprint. Layout: versioned
- * header, identity block, per-chunk framing, instruction-count
- * trailer (see trace_cache.cc for the exact field list).
+ * header (v2 adds the instruction count and keyframe interval),
+ * identity block, per-chunk framing (v2 adds each chunk's start seq),
+ * instruction-count trailer (see trace_cache.cc for the field list).
  */
 
 /** @return empty string on success, else a diagnostic. */
@@ -152,9 +155,103 @@ struct TraceLoadResult
 /**
  * Loads, validates (magic, version, chunk framing, trailer count,
  * full decode) and re-materializes the replay program for a saved
- * trace.
+ * trace. Built on TraceFileStream, so validation decodes each chunk
+ * as it streams off disk in a single pass.
  */
 TraceLoadResult loadTraceFile(const std::string &path);
+
+/**
+ * Rebuilds the replay program for @a key from the app registry and
+ * checks its sid space against @a sid_limit, the recording's
+ * fingerprint. Shared by loadTraceFile() and the streaming consumers
+ * (bioperfsim --trace-in, file-based sampling).
+ *
+ * @return empty string on success (with @a out set), else a
+ *         diagnostic.
+ */
+std::string buildReplayProgram(const TraceKey &key, uint32_t sid_limit,
+                               std::unique_ptr<ir::Program> &out);
+
+/**
+ * Chunk-at-a-time .bptrace reader. open() validates the header,
+ * scans the chunk framing into an in-memory index (payloads are
+ * skipped, not read), and cross-checks the trailer — so a valid
+ * stream never holds more than one chunk's bytes in memory, and
+ * seekToChunk() gives random access at keyframe granularity for
+ * sampled replay.
+ *
+ * Decode validation is NOT performed here; consumers decode through
+ * TraceReplayer, which fails loudly on corrupt payloads.
+ */
+class TraceFileStream
+{
+  public:
+    TraceFileStream() = default;
+    ~TraceFileStream();
+
+    TraceFileStream(const TraceFileStream &) = delete;
+    TraceFileStream &operator=(const TraceFileStream &) = delete;
+
+    /**
+     * Opens and validates @a path, leaving the reader positioned at
+     * chunk 0. @return empty string on success, else a diagnostic.
+     */
+    std::string open(const std::string &path);
+
+    /** Workload identity (app resolved against the registry). */
+    const TraceKey &key() const { return key_; }
+    uint32_t sidLimit() const { return sid_limit_; }
+    uint64_t instructions() const { return instructions_; }
+    uint64_t runs() const { return runs_; }
+    uint32_t spills() const { return spills_; }
+    bool verified() const { return verified_; }
+    uint32_t keyframeInterval() const { return keyframe_interval_; }
+
+    size_t numChunks() const { return index_.size(); }
+    uint64_t chunkStartSeq(size_t idx) const
+    {
+        return index_[idx].startSeq;
+    }
+    uint32_t chunkNumEvents(size_t idx) const
+    {
+        return index_[idx].numEvents;
+    }
+    bool isKeyframe(size_t idx) const
+    {
+        return idx % keyframe_interval_ == 0;
+    }
+
+    /** Positions the reader at chunk @a idx (must be < numChunks()). */
+    std::string seekToChunk(size_t idx);
+
+    /**
+     * Reads the chunk at the current position into @a chunk (reusing
+     * its buffer) and advances. @return false at end of the chunk
+     * list or on I/O error (@a error is set only for errors).
+     */
+    bool next(vm::EncodedTrace::Chunk &chunk, std::string &error);
+
+  private:
+    struct ChunkInfo
+    {
+        uint64_t offset = 0; ///< file offset of the payload bytes
+        uint64_t startSeq = 0;
+        uint32_t numEvents = 0;
+        uint32_t bitmapOffset = 0;
+        uint32_t byteLen = 0;
+    };
+
+    std::FILE *file_ = nullptr;
+    std::vector<ChunkInfo> index_;
+    size_t next_chunk_ = 0;
+    TraceKey key_;
+    uint32_t sid_limit_ = 0;
+    uint64_t instructions_ = 0;
+    uint64_t runs_ = 0;
+    uint32_t spills_ = 0;
+    bool verified_ = false;
+    uint32_t keyframe_interval_ = 1;
+};
 
 } // namespace bioperf::core
 

@@ -106,6 +106,17 @@ InorderCore::onRunEnd()
     std::fill(ready_.begin(), ready_.end(), 0);
 }
 
+void
+InorderCore::reset()
+{
+    issue_cycle_ = 1;
+    issued_this_cycle_ = 0;
+    std::fill(ready_.begin(), ready_.end(), 0);
+    last_complete_ = 0;
+    instructions_ = 0;
+    mispredicts_ = 0;
+}
+
 double
 InorderCore::ipc() const
 {

@@ -34,6 +34,13 @@ class InorderCore : public vm::TraceSink, public util::Reportable
     void onBatch(const vm::DynInstr *batch, size_t n) override;
     void onRunEnd() override;
 
+    /**
+     * Returns the core to its post-construction state while keeping
+     * the decode table (static facts survive across shards). Borrowed
+     * cache/predictor state is NOT touched; reset those separately.
+     */
+    void reset();
+
     uint64_t cycles() const { return last_complete_; }
     uint64_t instructions() const { return instructions_; }
     double ipc() const;

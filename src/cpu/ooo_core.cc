@@ -180,6 +180,22 @@ OooCore::onRunEnd()
     std::fill(ready_.begin(), ready_.end(), 0);
 }
 
+void
+OooCore::reset()
+{
+    fetch_cycle_ = 1;
+    fetch_slots_used_ = 0;
+    std::fill(ready_.begin(), ready_.end(), 0);
+    std::fill(rob_.begin(), rob_.end(), 0);
+    rob_pos_ = 0;
+    last_retire_ = 0;
+    std::fill(issue_slots_.begin(), issue_slots_.end(), 0);
+    retire_cycle_ = 0;
+    retire_used_ = 0;
+    instructions_ = 0;
+    mispredicts_ = 0;
+}
+
 double
 OooCore::ipc()
 const

@@ -68,6 +68,14 @@ class OooCore : public vm::TraceSink, public util::Reportable
     void onBatch(const vm::DynInstr *batch, size_t n) override;
     void onRunEnd() override;
 
+    /**
+     * Returns the core to its post-construction state (counters and
+     * pipeline occupancy zeroed) while keeping the decode table —
+     * static facts survive across shards. Borrowed cache/predictor
+     * state is NOT touched; reset those separately.
+     */
+    void reset();
+
     /** Cycle at which the last instruction retired. */
     uint64_t cycles() const { return last_retire_; }
     uint64_t instructions() const { return instructions_; }

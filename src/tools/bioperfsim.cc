@@ -50,6 +50,10 @@ struct Options
     std::string traceOut;
     /** Replay a saved .bptrace file instead of interpreting. */
     std::string traceIn;
+    /** time: sampled (approximate) timing instead of full replay. */
+    bool sample = false;
+    /** Sampling knobs (seed/threads are folded in from above). */
+    core::SamplingOptions sampling;
 };
 
 double
@@ -95,7 +99,32 @@ usage()
         "                            saved .bptrace instead of\n"
         "                            interpreting; results are bit-\n"
         "                            identical to the live run the\n"
-        "                            trace was recorded from\n");
+        "                            trace was recorded from\n"
+        "  --sample                  (time) sampled timing: alternate\n"
+        "                            functional warming with detailed\n"
+        "                            measurement intervals and report\n"
+        "                            mean CPI with a 95%% confidence\n"
+        "                            interval; with --trace-in the\n"
+        "                            file streams chunk-at-a-time and\n"
+        "                            workers seek straight to their\n"
+        "                            shards' keyframes\n"
+        "  --sample-interval N       instructions per sampling unit\n"
+        "                            (default 200000)\n"
+        "  --sample-detail N         measured instructions per unit\n"
+        "                            (default 20000)\n"
+        "  --sample-warmup N         detailed-but-unmeasured warm-up\n"
+        "                            before each measurement\n"
+        "                            (default 5000)\n"
+        "  --sample-shard-chunks N   chunks per shard, rounded up to\n"
+        "                            a keyframe multiple (0 = the\n"
+        "                            library default)\n"
+        "  --sample-window-chunks N  decoded chunks per shard; the\n"
+        "                            rest of each shard is skipped\n"
+        "                            without decoding (0 = half the\n"
+        "                            shard)\n"
+        "  --sample-min-warm N       functional-warm instructions\n"
+        "                            before a window's first\n"
+        "                            measurement (default 1000000)\n");
 }
 
 bool
@@ -152,6 +181,25 @@ parse(int argc, char **argv, Options &opt)
             opt.traceOut = next();
         } else if (a == "--trace-in") {
             opt.traceIn = next();
+        } else if (a == "--sample") {
+            opt.sample = true;
+        } else if (a == "--sample-interval") {
+            opt.sampling.interval = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--sample-detail") {
+            opt.sampling.detailLen =
+                std::strtoull(next(), nullptr, 10);
+        } else if (a == "--sample-warmup") {
+            opt.sampling.warmupLen =
+                std::strtoull(next(), nullptr, 10);
+        } else if (a == "--sample-shard-chunks") {
+            opt.sampling.shardChunks = static_cast<uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--sample-window-chunks") {
+            opt.sampling.windowChunks = static_cast<uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--sample-min-warm") {
+            opt.sampling.minWarm =
+                std::strtoull(next(), nullptr, 10);
         } else {
             std::printf("unknown option %s\n", a.c_str());
             return false;
@@ -354,9 +402,129 @@ cmdCharacterize(const Options &opt, const apps::AppInfo &app)
     return res.verified ? 0 : 1;
 }
 
+/**
+ * Checks that a trace recorded under @a key can time @a app on the
+ * chosen platform (right app, matching register file).
+ *
+ * @return false (with a message printed) on any mismatch
+ */
+bool
+checkTimingTraceKey(const Options &opt, const apps::AppInfo &app,
+                    const core::TraceKey &key)
+{
+    if (key.app != &app) {
+        std::printf("%s holds a trace of %s, not %s\n",
+                    opt.traceIn.c_str(), key.app->name.c_str(),
+                    app.name.c_str());
+        return false;
+    }
+    if (!key.registerPressure ||
+        key.intRegs != opt.platform.core.numIntRegs ||
+        key.fpRegs != opt.platform.core.numFpRegs) {
+        std::printf(
+            "%s was recorded %s; timing on %s needs a trace recorded "
+            "with a matching --platform (%u int / %u fp registers)\n",
+            opt.traceIn.c_str(),
+            key.registerPressure ? "for a different register file"
+                                 : "without register pressure",
+            opt.platform.name.c_str(), opt.platform.core.numIntRegs,
+            opt.platform.core.numFpRegs);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * `time --sample`: sampled (approximate) timing. With --trace-in the
+ * .bptrace streams chunk-at-a-time — workers seek directly to their
+ * shards' keyframes and the full trace is never materialized;
+ * otherwise the workload is recorded once (and saved when --trace-out
+ * was given) and sampled in memory.
+ */
+int
+cmdTimeSampled(const Options &opt, const apps::AppInfo &app)
+{
+    util::RunManifest manifest = makeManifest(opt, app);
+    core::SamplingOptions sopts = opt.sampling;
+    sopts.seed = opt.seed;
+    sopts.threads = opt.threads;
+
+    core::SampledTimingResult res;
+    if (!opt.traceIn.empty()) {
+        const double t0 = now();
+        const core::SampledFileResult fr =
+            core::sampleTimingFile(opt.traceIn, opt.platform, sopts);
+        if (!fr.error.empty()) {
+            std::printf("%s: %s\n", opt.traceIn.c_str(),
+                        fr.error.c_str());
+            return 1;
+        }
+        if (!checkTimingTraceKey(opt, app, fr.key))
+            return 1;
+        res = fr.result;
+        manifest.variant = apps::toString(fr.key.variant);
+        manifest.scale = apps::toString(fr.key.scale);
+        manifest.seed = fr.key.seed;
+        manifest.addStage("sample_stream", now() - t0,
+                          res.instructions);
+    } else {
+        core::TraceKey key;
+        key.app = &app;
+        key.variant = opt.variant;
+        key.scale = opt.scale;
+        key.seed = opt.seed;
+        key.registerPressure = true;
+        key.intRegs = opt.platform.core.numIntRegs;
+        key.fpRegs = opt.platform.core.numFpRegs;
+        core::TraceCache::Ptr trace;
+        if (!opt.traceOut.empty()) {
+            trace = recordAndSave(opt, key, manifest);
+            if (!trace)
+                return 1;
+        } else {
+            const double t0 = now();
+            trace = core::TraceCache::record(key);
+            manifest.addStage("trace_record", now() - t0,
+                              trace->instructions);
+        }
+        const double t0 = now();
+        res = core::Simulator::sampleTiming(*trace, opt.platform,
+                                            sopts);
+        manifest.addStage("sample_replay", now() - t0,
+                          res.instructions);
+    }
+    manifest.traceMode = "sampled";
+
+    std::printf("%s (%s) on %s, sampled%s:\n", app.name.c_str(),
+                manifest.variant.c_str(), opt.platform.name.c_str(),
+                res.exhaustive ? " (exhaustive fallback)" : "");
+    std::printf("  verified    : %s\n", res.verified ? "yes" : "NO");
+    std::printf("  instructions: %llu\n",
+                static_cast<unsigned long long>(res.instructions));
+    std::printf("  CPI         : %.4f +/- %.4f (95%% CI, %llu "
+                "intervals, cv %.3f)\n",
+                res.cpi, res.ci95,
+                static_cast<unsigned long long>(res.intervals),
+                res.cv);
+    std::printf("  coverage    : %.2f%% (%llu instructions measured, "
+                "%llu shards)\n", 100.0 * res.coverage,
+                static_cast<unsigned long long>(
+                    res.measuredInstructions),
+                static_cast<unsigned long long>(res.shards));
+    std::printf("  proj cycles : %.0f  (IPC %.2f)\n",
+                res.projectedCycles, res.ipc);
+    std::printf("  proj time   : %.6f s at %.3f GHz\n", res.seconds,
+                opt.platform.core.clockGhz);
+    if (!writeJsonReport(opt, res.verified, manifest, res.report()))
+        return 1;
+    return res.verified ? 0 : 1;
+}
+
 int
 cmdTime(const Options &opt, const apps::AppInfo &app)
 {
+    if (opt.sample)
+        return cmdTimeSampled(opt, app);
     util::RunManifest manifest = makeManifest(opt, app);
     core::TimingResult res;
     if (!opt.traceIn.empty()) {
@@ -365,21 +533,8 @@ cmdTime(const Options &opt, const apps::AppInfo &app)
             loadTraceFor(opt, app, manifest, key);
         if (!trace)
             return 1;
-        if (!key.registerPressure ||
-            key.intRegs != opt.platform.core.numIntRegs ||
-            key.fpRegs != opt.platform.core.numFpRegs) {
-            std::printf(
-                "%s was recorded %s; timing on %s needs a trace "
-                "recorded with a matching --platform (%u int / %u fp "
-                "registers)\n", opt.traceIn.c_str(),
-                key.registerPressure
-                    ? "for a different register file"
-                    : "without register pressure",
-                opt.platform.name.c_str(),
-                opt.platform.core.numIntRegs,
-                opt.platform.core.numFpRegs);
+        if (!checkTimingTraceKey(opt, app, key))
             return 1;
-        }
         const double t0 = now();
         res = core::Simulator::timeReplay(*trace, opt.platform);
         manifest.addStage("time_replay", now() - t0,

@@ -35,6 +35,28 @@ RunningStats::stddev() const
 }
 
 double
+RunningStats::stderror() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double
+RunningStats::ci95() const
+{
+    return 1.96 * stderror();
+}
+
+double
+RunningStats::cv() const
+{
+    if (count_ < 2 || mean_ == 0.0)
+        return 0.0;
+    return stddev() / std::fabs(mean_);
+}
+
+double
 arithmeticMean(const std::vector<double> &xs)
 {
     if (xs.empty())

@@ -24,6 +24,17 @@ class RunningStats
     double max() const { return count_ ? max_ : 0.0; }
     double variance() const;
     double stddev() const;
+    /** Standard error of the mean: stddev()/sqrt(count()). */
+    double stderror() const;
+    /**
+     * Half-width of the 95% confidence interval on the mean
+     * (1.96 × standard error, normal approximation — appropriate for
+     * the dozens-to-thousands of sampled intervals the timing
+     * estimator aggregates). 0 for fewer than two samples.
+     */
+    double ci95() const;
+    /** Coefficient of variation: stddev()/|mean()|; 0 if mean is 0. */
+    double cv() const;
 
   private:
     size_t count_ = 0;

@@ -131,12 +131,14 @@ buildSidTable(const ir::Program &prog)
 
 // --- TraceRecorder ----------------------------------------------------
 
-TraceRecorder::TraceRecorder(const ir::Program &prog)
+TraceRecorder::TraceRecorder(const ir::Program &prog,
+                             uint32_t keyframe_interval)
     : payload_(kChunkEvents * kMaxEventBytes),
       branch_bits_(kChunkEvents / 8 + 1, 0),
       last_addr_(prog.sidLimit(), 0), last_bits_(prog.sidLimit(), 0)
 {
     trace_.setSidLimit(prog.sidLimit());
+    trace_.setKeyframeInterval(keyframe_interval);
     kind_of_sid_.assign(prog.sidLimit(), kPlain);
     for (const ir::Instr *in : buildSidTable(prog)) {
         if (in)
@@ -192,6 +194,7 @@ TraceRecorder::encodeOne(const DynInstr &di)
     }
     payload_pos_ = static_cast<size_t>(p - base);
     instructions_++;
+    seq_++;
     if (++chunk_events_ == kChunkEvents)
         sealChunk();
 }
@@ -214,6 +217,7 @@ TraceRecorder::onRunEnd()
 {
     payload_[payload_pos_++] = 0; // run-boundary marker (code 0)
     runs_++;
+    seq_ = 0;
     if (++chunk_events_ == kChunkEvents)
         sealChunk();
 }
@@ -227,6 +231,8 @@ TraceRecorder::sealChunk()
     EncodedTrace::Chunk chunk;
     chunk.numEvents = chunk_events_;
     chunk.bitmapOffset = static_cast<uint32_t>(payload_pos_);
+    chunk.startSeq = chunk_start_seq_;
+    chunk.keyframe = trace_.isKeyframe(trace_.chunks().size());
     chunk.bytes.reserve(payload_pos_ + bitmap_bytes);
     chunk.bytes.assign(payload_.begin(),
                        payload_.begin() + payload_pos_);
@@ -238,6 +244,15 @@ TraceRecorder::sealChunk()
     payload_pos_ = 0;
     chunk_events_ = 0;
     chunk_branches_ = 0;
+    chunk_start_seq_ = seq_;
+    // If the chunk now opening is a keyframe, reset the delta state
+    // so decoding can enter the stream here without the prefix. The
+    // decoder mirrors this via Chunk::keyframe.
+    if (trace_.isKeyframe(trace_.chunks().size())) {
+        prev_sid_ = 0;
+        std::fill(last_addr_.begin(), last_addr_.end(), 0);
+        std::fill(last_bits_.begin(), last_bits_.end(), 0);
+    }
 }
 
 EncodedTrace
@@ -250,14 +265,10 @@ TraceRecorder::finish()
 
 // --- TraceReplayer ----------------------------------------------------
 
-TraceReplayer::TraceReplayer(const EncodedTrace &trace,
-                             const ir::Program &prog)
-    : trace_(trace), batch_(kBatchCapacity),
+TraceReplayer::TraceReplayer(const ir::Program &prog)
+    : trace_(nullptr), batch_(kBatchCapacity),
       last_addr_(prog.sidLimit(), 0), last_bits_(prog.sidLimit(), 0)
 {
-    if (prog.sidLimit() != trace.sidLimit())
-        fatal("replay program sid space differs from the recording "
-              "(trace was captured from a different program)");
     const std::vector<const ir::Instr *> table = buildSidTable(prog);
     sid_.resize(table.size());
     for (size_t s = 0; s < table.size(); s++) {
@@ -267,6 +278,16 @@ TraceReplayer::TraceReplayer(const EncodedTrace &trace,
     }
 }
 
+TraceReplayer::TraceReplayer(const EncodedTrace &trace,
+                             const ir::Program &prog)
+    : TraceReplayer(prog)
+{
+    if (prog.sidLimit() != trace.sidLimit())
+        fatal("replay program sid space differs from the recording "
+              "(trace was captured from a different program)");
+    trace_ = &trace;
+}
+
 void
 TraceReplayer::flush(size_t n)
 {
@@ -274,93 +295,152 @@ TraceReplayer::flush(size_t n)
         s->onBatch(batch_.data(), n);
 }
 
-uint64_t
-TraceReplayer::replay()
+void
+TraceReplayer::beginStream(uint64_t start_seq)
 {
-    const uint64_t sid_limit = trace_.sidLimit();
+    seq_ = start_seq;
+    prev_sid_ = 0;
+    delivered_ = 0;
+    batch_n_ = 0;
+    std::fill(last_addr_.begin(), last_addr_.end(), 0);
+    std::fill(last_bits_.begin(), last_bits_.end(), 0);
+}
+
+uint64_t
+TraceReplayer::endStream()
+{
+    if (batch_n_ > 0) {
+        flush(batch_n_);
+        batch_n_ = 0;
+    }
+    return delivered_;
+}
+
+void
+TraceReplayer::streamChunk(const EncodedTrace::Chunk &chunk)
+{
+    decodeChunk(chunk);
+}
+
+void
+TraceReplayer::decodeChunk(const EncodedTrace::Chunk &chunk)
+{
+    // Mirror the recorder's keyframe reset (idempotent when the
+    // stream just began here — beginStream() resets the same state).
+    if (chunk.keyframe) {
+        prev_sid_ = 0;
+        std::fill(last_addr_.begin(), last_addr_.end(), 0);
+        std::fill(last_bits_.begin(), last_bits_.end(), 0);
+    }
+    // Hot loop: hoist member state into locals for the duration of
+    // the chunk, write back at the end.
+    const uint64_t sid_limit = last_addr_.size();
     const SidDecode *sids = sid_.data();
     uint64_t *last_addr = last_addr_.data();
     uint64_t *last_bits = last_bits_.data();
     DynInstr *batch = batch_.data();
-    uint64_t instructions = 0;
-    uint64_t seq = 0;
-    uint64_t prev_sid = 0;
-    size_t bn = 0;
+    uint64_t instructions = delivered_;
+    uint64_t seq = seq_;
+    uint64_t prev_sid = prev_sid_;
+    size_t bn = batch_n_;
 
-    for (const EncodedTrace::Chunk &chunk : trace_.chunks()) {
-        const uint8_t *p = chunk.bytes.data();
-        const uint8_t *end = p + chunk.bitmapOffset;
-        const uint8_t *bitmap = end;
-        const uint8_t *bitmap_end =
-            chunk.bytes.data() + chunk.bytes.size();
-        uint32_t branch_idx = 0;
-        for (uint32_t e = 0; e < chunk.numEvents; e++) {
-            // Keep the streamed payload from evicting the sinks'
-            // working sets: it is read once, so fetch ahead with
-            // non-temporal locality.
-            __builtin_prefetch(p + 512, 0, 0);
-            const uint64_t code = readVarint(p, end);
-            if (__builtin_expect(code == 0, 0)) {
-                // Run boundary: flush, then onRunEnd, exactly as the
-                // interpreter orders them; seq restarts per run.
-                if (bn > 0) {
-                    flush(bn);
-                    bn = 0;
-                }
-                for (TraceSink *s : sinks_)
-                    s->onRunEnd();
-                seq = 0;
-                continue;
-            }
-            const uint64_t sid =
-                prev_sid + static_cast<uint64_t>(zigzagDecode(code - 1));
-            prev_sid = sid;
-            if (__builtin_expect(sid >= sid_limit, 0))
-                fatal("event sid out of range (corrupt trace)");
-            const SidDecode &sd = sids[sid];
-            DynInstr &di = batch[bn];
-            di = sd.proto; // one copy: instr set, dynamic fields zeroed
-            di.seq = seq++;
-            switch (sd.kind) {
-              case kPlain:
-                break;
-              case kMem:
-                di.addr = last_addr[sid] += static_cast<uint64_t>(
-                    zigzagDecode(readVarint(p, end)));
-                break;
-              case kIntLoad:
-                di.addr = last_addr[sid] += static_cast<uint64_t>(
-                    zigzagDecode(readVarint(p, end)));
-                di.loadValueBits = last_bits[sid] +=
-                    static_cast<uint64_t>(
-                        zigzagDecode(readVarint(p, end)));
-                break;
-              case kFpLoad:
-                di.addr = last_addr[sid] += static_cast<uint64_t>(
-                    zigzagDecode(readVarint(p, end)));
-                di.loadValueBits = last_bits[sid] ^=
-                    readVarint(p, end);
-                break;
-              case kBranch: {
-                const uint32_t bit = branch_idx++;
-                if (bitmap + (bit >> 3) >= bitmap_end)
-                    fatal("branch bitmap overrun (corrupt trace)");
-                di.taken = (bitmap[bit >> 3] >> (bit & 7)) & 1;
-                break;
-              }
-            }
-            instructions++;
-            if (++bn == kBatchCapacity) {
+    const uint8_t *p = chunk.bytes.data();
+    const uint8_t *end = p + chunk.bitmapOffset;
+    const uint8_t *bitmap = end;
+    const uint8_t *bitmap_end = chunk.bytes.data() + chunk.bytes.size();
+    uint32_t branch_idx = 0;
+    for (uint32_t e = 0; e < chunk.numEvents; e++) {
+        // Keep the streamed payload from evicting the sinks'
+        // working sets: it is read once, so fetch ahead with
+        // non-temporal locality.
+        __builtin_prefetch(p + 512, 0, 0);
+        const uint64_t code = readVarint(p, end);
+        if (__builtin_expect(code == 0, 0)) {
+            // Run boundary: flush, then onRunEnd, exactly as the
+            // interpreter orders them; seq restarts per run.
+            if (bn > 0) {
                 flush(bn);
                 bn = 0;
             }
+            for (TraceSink *s : sinks_)
+                s->onRunEnd();
+            seq = 0;
+            continue;
         }
-        if (p != end)
-            fatal("chunk payload has trailing bytes (corrupt trace)");
+        const uint64_t sid =
+            prev_sid + static_cast<uint64_t>(zigzagDecode(code - 1));
+        prev_sid = sid;
+        if (__builtin_expect(sid >= sid_limit, 0))
+            fatal("event sid out of range (corrupt trace)");
+        const SidDecode &sd = sids[sid];
+        DynInstr &di = batch[bn];
+        di = sd.proto; // one copy: instr set, dynamic fields zeroed
+        di.seq = seq++;
+        switch (sd.kind) {
+          case kPlain:
+            break;
+          case kMem:
+            di.addr = last_addr[sid] += static_cast<uint64_t>(
+                zigzagDecode(readVarint(p, end)));
+            break;
+          case kIntLoad:
+            di.addr = last_addr[sid] += static_cast<uint64_t>(
+                zigzagDecode(readVarint(p, end)));
+            di.loadValueBits = last_bits[sid] +=
+                static_cast<uint64_t>(
+                    zigzagDecode(readVarint(p, end)));
+            break;
+          case kFpLoad:
+            di.addr = last_addr[sid] += static_cast<uint64_t>(
+                zigzagDecode(readVarint(p, end)));
+            di.loadValueBits = last_bits[sid] ^= readVarint(p, end);
+            break;
+          case kBranch: {
+            const uint32_t bit = branch_idx++;
+            if (bitmap + (bit >> 3) >= bitmap_end)
+                fatal("branch bitmap overrun (corrupt trace)");
+            di.taken = (bitmap[bit >> 3] >> (bit & 7)) & 1;
+            break;
+          }
+        }
+        instructions++;
+        if (++bn == kBatchCapacity) {
+            flush(bn);
+            bn = 0;
+        }
     }
-    if (bn > 0)
-        flush(bn);
-    return instructions;
+    if (p != end)
+        fatal("chunk payload has trailing bytes (corrupt trace)");
+
+    delivered_ = instructions;
+    seq_ = seq;
+    prev_sid_ = prev_sid;
+    batch_n_ = bn;
+}
+
+uint64_t
+TraceReplayer::replay()
+{
+    if (!trace_)
+        fatal("replay() needs an in-memory trace (use the streaming "
+              "API for file-backed replay)");
+    return replayRange(0, trace_->chunks().size());
+}
+
+uint64_t
+TraceReplayer::replayRange(size_t begin, size_t end)
+{
+    if (!trace_)
+        fatal("replayRange() needs an in-memory trace");
+    const std::vector<EncodedTrace::Chunk> &chunks = trace_->chunks();
+    if (begin > end || end > chunks.size())
+        fatal("replay chunk range out of bounds");
+    if (begin < chunks.size() && !trace_->isKeyframe(begin))
+        fatal("replay range must start at a keyframe chunk");
+    beginStream(begin < end ? chunks[begin].startSeq : 0);
+    for (size_t i = begin; i < end; i++)
+        decodeChunk(chunks[i]);
+    return endStream();
 }
 
 } // namespace bioperf::vm

@@ -42,8 +42,13 @@ namespace bioperf::vm {
  * Everything else in DynInstr (seq, zero addr/value for non-memory
  * ops, taken=false for non-branches) is reconstructed, not stored.
  * Codec state (per-sid last address/value) runs across chunk
- * boundaries; chunks are framing for the on-disk format and for
- * bounded-memory encoding, not independent decode units.
+ * boundaries — except at **keyframes**: every Kth chunk opens with
+ * the delta state (previous sid, per-sid addresses/values) reset to
+ * zero, making it a self-contained random-access entry point. Replay
+ * may start at any keyframe (TraceReplayer::replayRange), which is
+ * what lets the sampled-timing controller shard one trace across
+ * threads; non-keyframe chunks remain pure framing for the on-disk
+ * format and for bounded-memory encoding.
  */
 
 /** LEB128 unsigned varint append. */
@@ -83,6 +88,18 @@ class EncodedTrace
         uint32_t numEvents = 0;
         /** Offset of the branch bitmap within @a bytes. */
         uint32_t bitmapOffset = 0;
+        /**
+         * Per-run seq of the first event in this chunk; replay
+         * starting here (keyframes only) resumes seq numbering
+         * without decoding the prefix.
+         */
+        uint64_t startSeq = 0;
+        /**
+         * The recorder reset its delta state before encoding this
+         * chunk; the decoder mirrors the reset on entry. True for
+         * every keyframeInterval()-th chunk.
+         */
+        bool keyframe = false;
     };
 
     /** Dynamic instructions recorded (run-end markers excluded). */
@@ -91,6 +108,17 @@ class EncodedTrace
     uint64_t runs() const { return runs_; }
     /** One past the largest sid the source program could emit. */
     uint32_t sidLimit() const { return sid_limit_; }
+
+    /**
+     * Every keyframeInterval()-th chunk is a self-contained decode
+     * entry point (delta state reset at its start). Always ≥1; 1
+     * means every chunk is a keyframe.
+     */
+    uint32_t keyframeInterval() const { return keyframe_interval_; }
+    bool isKeyframe(size_t chunk_index) const
+    {
+        return chunk_index % keyframe_interval_ == 0;
+    }
 
     const std::vector<Chunk> &chunks() const { return chunks_; }
 
@@ -104,6 +132,10 @@ class EncodedTrace
      * Not for general use: appended chunks must come from the codec.
      */
     void setSidLimit(uint32_t limit) { sid_limit_ = limit; }
+    void setKeyframeInterval(uint32_t interval)
+    {
+        keyframe_interval_ = interval == 0 ? 1 : interval;
+    }
     void setCounts(uint64_t instructions, uint64_t runs)
     {
         instructions_ = instructions;
@@ -116,6 +148,7 @@ class EncodedTrace
     uint64_t instructions_ = 0;
     uint64_t runs_ = 0;
     uint32_t sid_limit_ = 0;
+    uint32_t keyframe_interval_ = 1;
 };
 
 /**
@@ -129,8 +162,17 @@ class TraceRecorder : public TraceSink
   public:
     /** Events per chunk before the frame is sealed. */
     static constexpr uint32_t kChunkEvents = 1u << 16;
+    /**
+     * Default keyframe cadence: one self-contained entry point per
+     * ~1M events. The delta-state reset costs a few extra bytes per
+     * keyframe (first occurrence of each sid re-encodes absolute
+     * addr/value), which is noise at this spacing.
+     */
+    static constexpr uint32_t kDefaultKeyframeInterval = 16;
 
-    explicit TraceRecorder(const ir::Program &prog);
+    explicit TraceRecorder(const ir::Program &prog,
+                           uint32_t keyframe_interval =
+                               kDefaultKeyframeInterval);
 
     void onInstr(const DynInstr &di) override;
     void onBatch(const DynInstr *batch, size_t n) override;
@@ -163,6 +205,10 @@ class TraceRecorder : public TraceSink
     uint32_t chunk_branches_ = 0;
     uint64_t instructions_ = 0;
     uint64_t runs_ = 0;
+    /** Per-run seq of the next event (mirrors replay numbering). */
+    uint64_t seq_ = 0;
+    /** seq_ captured when the current chunk opened. */
+    uint64_t chunk_start_seq_ = 0;
     /** Previous event's sid (delta encoding; spans chunks/runs). */
     uint64_t prev_sid_ = 0;
     /** sid -> decode kind (see trace_codec.cc). */
@@ -189,6 +235,14 @@ class TraceReplayer
   public:
     TraceReplayer(const EncodedTrace &trace, const ir::Program &prog);
 
+    /**
+     * Streaming construction: no in-memory trace, chunks are fed one
+     * at a time via beginStream()/streamChunk()/endStream(). Used by
+     * the chunk-at-a-time .bptrace reader so a file replay never
+     * materializes the whole chunk vector.
+     */
+    explicit TraceReplayer(const ir::Program &prog);
+
     void addSink(TraceSink *sink) { sinks_.push_back(sink); }
 
     /**
@@ -198,13 +252,33 @@ class TraceReplayer
      */
     uint64_t replay();
 
+    /**
+     * Replays chunks [begin, end). @a begin must be a keyframe index
+     * (delta state is reset, seq resumes from the chunk's startSeq);
+     * this is the shard entry point for sampled timing. @return
+     * instructions delivered.
+     */
+    uint64_t replayRange(size_t begin, size_t end);
+
+    /**
+     * Streaming protocol: beginStream() resets decode state (seq
+     * resumes from @a start_seq — pass the chunk's startSeq when
+     * entering at a keyframe, 0 from the top), streamChunk() decodes
+     * one chunk into the sinks, endStream() flushes and returns
+     * instructions delivered since beginStream().
+     */
+    void beginStream(uint64_t start_seq = 0);
+    void streamChunk(const EncodedTrace::Chunk &chunk);
+    uint64_t endStream();
+
   private:
     /** Batch buffer size; mirrors Interpreter::kBatchCapacity. */
     static constexpr size_t kBatchCapacity = 512;
 
     void flush(size_t n);
+    void decodeChunk(const EncodedTrace::Chunk &chunk);
 
-    const EncodedTrace &trace_;
+    const EncodedTrace *trace_;
     std::vector<TraceSink *> sinks_;
     /**
      * Per-sid decode recipe: a prototype DynInstr (instr pointer set,
@@ -222,6 +296,11 @@ class TraceReplayer
     std::vector<DynInstr> batch_;
     std::vector<uint64_t> last_addr_;
     std::vector<uint64_t> last_bits_;
+    /** Streaming decode state, reset by beginStream(). */
+    uint64_t seq_ = 0;
+    uint64_t prev_sid_ = 0;
+    uint64_t delivered_ = 0;
+    size_t batch_n_ = 0;
 };
 
 /**

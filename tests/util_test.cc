@@ -114,6 +114,30 @@ TEST(RunningStats, EmptyIsZero)
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
     EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stderror(), 0.0);
+    EXPECT_EQ(s.ci95(), 0.0);
+    EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, ConfidenceHelpers)
+{
+    RunningStats s;
+    for (double v : { 2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0 })
+        s.add(v);
+    const double sd = std::sqrt(32.0 / 7.0);
+    EXPECT_NEAR(s.stddev(), sd, 1e-12);
+    EXPECT_NEAR(s.stderror(), sd / std::sqrt(8.0), 1e-12);
+    EXPECT_NEAR(s.ci95(), 1.96 * sd / std::sqrt(8.0), 1e-12);
+    EXPECT_NEAR(s.cv(), sd / 5.0, 1e-12);
+}
+
+TEST(RunningStats, SingleSampleHasNoSpread)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.ci95(), 0.0);
+    EXPECT_EQ(s.cv(), 0.0);
 }
 
 TEST(Means, KnownValues)
