@@ -157,14 +157,14 @@ measure(const std::vector<apps::AppInfo> &list, apps::Scale scale,
                 core::TraceCache::Ptr trace = traces[app.name];
                 const double t0 = now();
                 if (delivery == Delivery::RecordReplay) {
-                    trace = core::TraceCache::record(key);
+                    trace = core::TraceCache::record(key).value();
                     record_dt = now() - t0;
                 }
                 vm::TraceReplayer replayer(trace->trace,
                                            *trace->prog);
                 for (auto *s : sinks)
                     replayer.addSink(s);
-                replayer.replay();
+                replayer.replay().value();
                 dt = now() - t0;
                 if (delivery == Delivery::RecordReplay)
                     traces[app.name] = trace;

@@ -3,19 +3,23 @@
 
 Stdlib-only CI gate: every report must parse as JSON, carry the
 expected schema tag, declare ok=true, and contain the full manifest
-(all nine keys, stages with wall time / instructions / simulated
-MIPS). Usage:
+(all ten keys, stages with wall time / instructions / simulated MIPS,
+a well-formed failures array). A clean run must have failures == [];
+fault-injection jobs pass --allow-failures, which permits ok=false
+reports and populated failures arrays while still checking their
+shape. Usage:
 
-    check_bench_json.py FILE [FILE ...]
+    check_bench_json.py [--allow-failures] FILE [FILE ...]
 """
 import json
 import sys
 
 MANIFEST_KEYS = (
     "bench", "app", "variant", "scale", "seed", "platform",
-    "threads", "trace_mode", "stages",
+    "threads", "trace_mode", "stages", "failures",
 )
 STAGE_KEYS = ("name", "wall_seconds", "instructions", "simulated_mips")
+FAILURE_KEYS = ("app", "variant", "stage", "error")
 SCHEMAS = ("bioperf.bench.v1", "bioperf.run.v1")
 
 # sim_throughput grew trace record/replay instrumentation; its report
@@ -41,7 +45,7 @@ SIM_THROUGHPUT_SAMPLED_KEYS = ("coverage", "cpi_error")
 SIM_THROUGHPUT_SAMPLED_DELIVERIES = ("sampled", "sampled-sharded")
 
 
-def check(path: str) -> list:
+def check(path: str, allow_failures: bool = False) -> list:
     errors = []
     try:
         with open(path) as f:
@@ -53,8 +57,10 @@ def check(path: str) -> list:
         errors.append(f"bad schema tag: {report.get('schema')!r}")
     if "bench" not in report and "command" not in report:
         errors.append("missing 'bench'/'command' identity key")
-    if report.get("ok") is not True:
+    if report.get("ok") is not True and not allow_failures:
         errors.append(f"ok is {report.get('ok')!r}, expected true")
+    if not isinstance(report.get("ok"), bool):
+        errors.append(f"ok is {report.get('ok')!r}, expected a bool")
 
     manifest = report.get("manifest")
     if not isinstance(manifest, dict):
@@ -71,6 +77,7 @@ def check(path: str) -> list:
             for key in STAGE_KEYS:
                 if key not in stage:
                     errors.append(f"stages[{i}] missing key: {key}")
+    check_failures(manifest, allow_failures, errors)
     metrics = report.get("metrics")
     if not isinstance(metrics, dict):
         errors.append("missing metrics object")
@@ -78,6 +85,31 @@ def check(path: str) -> list:
     if manifest.get("bench") == "sim_throughput":
         check_sim_throughput(metrics, errors)
     return errors
+
+
+def check_failures(manifest: dict, allow_failures: bool,
+                   errors: list) -> None:
+    """Shape-check manifest.failures; clean runs must have none."""
+    failures = manifest.get("failures")
+    if not isinstance(failures, list):
+        errors.append("manifest.failures is not a list")
+        return
+    for i, failure in enumerate(failures):
+        if not isinstance(failure, dict):
+            errors.append(f"failures[{i}] is not an object")
+            continue
+        for key in FAILURE_KEYS:
+            if key not in failure:
+                errors.append(f"failures[{i}] missing key: {key}")
+            elif not isinstance(failure[key], str):
+                errors.append(f"failures[{i}].{key} is not a string")
+        if not failure.get("error"):
+            errors.append(f"failures[{i}].error is empty: a recorded "
+                          "incident must say what went wrong")
+    if failures and not allow_failures:
+        errors.append(f"manifest.failures has {len(failures)} "
+                      "entries; a clean run must have none "
+                      "(fault jobs pass --allow-failures)")
 
 
 def check_sim_throughput(metrics: dict, errors: list) -> None:
@@ -128,12 +160,17 @@ def check_sim_throughput(metrics: dict, errors: list) -> None:
 
 
 def main(argv: list) -> int:
+    allow_failures = False
+    if argv and argv[0] == "--allow-failures":
+        allow_failures = True
+        argv = argv[1:]
     if not argv:
-        print("usage: check_bench_json.py FILE [FILE ...]")
+        print("usage: check_bench_json.py [--allow-failures] "
+              "FILE [FILE ...]")
         return 2
     failed = 0
     for path in argv:
-        errors = check(path)
+        errors = check(path, allow_failures)
         if errors:
             failed += 1
             for e in errors:

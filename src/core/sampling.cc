@@ -6,6 +6,7 @@
 
 #include "cpu/inorder_core.h"
 #include "cpu/ooo_core.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -70,6 +71,8 @@ struct ShardResult
     uint64_t measuredCycles = 0;
     uint64_t measuredMispredicts = 0;
     uint64_t delivered = 0;
+    /** Failure that dropped this shard from the estimate. */
+    util::Status status;
 };
 
 /**
@@ -128,6 +131,15 @@ class SampleRouter : public vm::TraceSink
         // The run boundary's scoreboard semantics apply to the core
         // whatever the phase; warming holds no per-run state.
         core_->sink()->onRunEnd();
+    }
+
+    void onGap() override
+    {
+        // Salvaged traces: the producers of in-flight dependencies
+        // were lost with the gap, so the core drains. Warm state
+        // (caches, predictor) is kept — stale but unbiased, same as
+        // after any functional-warm stretch.
+        core_->sink()->onGap();
     }
 
   private:
@@ -189,9 +201,9 @@ class ChunkReader
   public:
     virtual ~ChunkReader() = default;
     virtual uint64_t startSeq(size_t idx) = 0;
-    /** @return empty string on success, else a diagnostic. */
-    virtual std::string readRange(size_t begin, size_t end,
-                                  vm::TraceReplayer &rep) = 0;
+    /** Feeds chunks [begin, end) into @a rep; OK on success. */
+    virtual util::Status readRange(size_t begin, size_t end,
+                                   vm::TraceReplayer &rep) = 0;
 };
 
 class MemoryReader final : public ChunkReader
@@ -205,12 +217,14 @@ class MemoryReader final : public ChunkReader
     {
         return trace_->chunks()[idx].startSeq;
     }
-    std::string readRange(size_t begin, size_t end,
-                          vm::TraceReplayer &rep) override
+    util::Status readRange(size_t begin, size_t end,
+                           vm::TraceReplayer &rep) override
     {
         for (size_t i = begin; i < end; i++)
-            rep.streamChunk(trace_->chunks()[i]);
-        return "";
+            if (util::Status s = rep.streamChunk(trace_->chunks()[i]);
+                !s.ok())
+                return s;
+        return {};
     }
 
   private:
@@ -220,7 +234,7 @@ class MemoryReader final : public ChunkReader
 class FileReader final : public ChunkReader
 {
   public:
-    std::string open(const std::string &path)
+    util::Status open(const std::string &path)
     {
         return stream_.open(path);
     }
@@ -228,19 +242,21 @@ class FileReader final : public ChunkReader
     {
         return stream_.chunkStartSeq(idx);
     }
-    std::string readRange(size_t begin, size_t end,
-                          vm::TraceReplayer &rep) override
+    util::Status readRange(size_t begin, size_t end,
+                           vm::TraceReplayer &rep) override
     {
-        if (std::string err = stream_.seekToChunk(begin); !err.empty())
-            return err;
-        std::string io;
+        if (util::Status s = stream_.seekToChunk(begin); !s.ok())
+            return s;
         for (size_t i = begin; i < end; i++) {
+            util::Status io;
             if (!stream_.next(chunk_, io))
-                return io.empty() ? "unexpected end of chunk stream"
-                                  : io;
-            rep.streamChunk(chunk_);
+                return io.ok() ? util::Status::corruptData(
+                                     "unexpected end of chunk stream")
+                               : io;
+            if (util::Status s = rep.streamChunk(chunk_); !s.ok())
+                return s;
         }
-        return "";
+        return {};
     }
 
   private:
@@ -249,7 +265,7 @@ class FileReader final : public ChunkReader
 };
 
 using ReaderFactory =
-    std::function<std::unique_ptr<ChunkReader>(std::string &)>;
+    std::function<std::unique_ptr<ChunkReader>(util::Status &)>;
 
 /** One worker's whole simulation stack, reused across its shards. */
 struct WorkerStack
@@ -343,6 +359,11 @@ mergeShards(const std::vector<ShardResult> &results,
     SampledTimingResult out;
     util::RunningStats stats;
     for (const ShardResult &r : results) {
+        if (!r.status.ok()) {
+            out.failedShards++;
+            out.shardErrors.push_back(r.status.str());
+            continue;
+        }
         for (double c : r.cpis)
             stats.add(c);
         out.measuredInstructions += r.measuredInstructions;
@@ -375,7 +396,7 @@ SampledTimingResult
 runExhaustive(const ir::Program &prog,
               const cpu::PlatformConfig &platform, ChunkReader &reader,
               size_t num_chunks, uint64_t total_instructions,
-              bool verified, std::string &error)
+              bool verified)
 {
     SampledTimingResult out;
     out.exhaustive = true;
@@ -389,9 +410,9 @@ runExhaustive(const ir::Program &prog,
     vm::TraceReplayer rep(prog);
     rep.addSink(core.sink());
     rep.beginStream(0);
-    if (std::string err = reader.readRange(0, num_chunks, rep);
-        !err.empty()) {
-        error = std::move(err);
+    if (util::Status s = reader.readRange(0, num_chunks, rep);
+        !s.ok()) {
+        out.status = s.withContext("exhaustive replay");
         return out;
     }
     rep.endStream();
@@ -414,8 +435,7 @@ SampledTimingResult
 runSampled(const ir::Program &prog, const cpu::PlatformConfig &platform,
            const SamplingOptions &opts, size_t num_chunks,
            uint32_t keyframe_interval, uint64_t total_instructions,
-           bool verified, const ReaderFactory &make_reader,
-           std::string &error)
+           bool verified, const ReaderFactory &make_reader)
 {
     SampledTimingResult out;
     SamplingOptions o = opts;
@@ -442,9 +462,20 @@ runSampled(const ir::Program &prog, const cpu::PlatformConfig &platform,
             keyframe_interval));
     std::vector<ShardResult> results(geo.numShards);
 
+    // A failing shard is dropped, not fatal: its observations never
+    // enter the estimator (per-shard state resets keep the survivors
+    // independent of it), so the merged CPI stays valid — just with
+    // fewer intervals behind it.
     auto runRange = [&](WorkerStack &ws, ChunkReader &reader,
-                        size_t s0, size_t s1) -> std::string {
+                        size_t s0, size_t s1) -> util::Status {
         for (size_t s = s0; s < s1; s++) {
+            if (BIOPERF_FAILPOINT("sample.shard.fail")) {
+                results[s] = ShardResult{};
+                results[s].status = util::Status::unavailable(
+                    "fail point sample.shard.fail fired (shard " +
+                    std::to_string(s) + ")");
+                continue;
+            }
             const size_t c0 = s * geo.chunksPerShard;
             const size_t c1 =
                 std::min(num_chunks, c0 + geo.chunksPerShard);
@@ -458,13 +489,20 @@ runSampled(const ir::Program &prog, const cpu::PlatformConfig &platform,
             ws.router.beginShard(&results[s], plan.firstWarm,
                                  o.warmupLen, o.detailLen, warm_gap);
             ws.replayer.beginStream(reader.startSeq(plan.w0));
-            if (std::string err =
+            if (util::Status st =
                     reader.readRange(plan.w0, plan.w1, ws.replayer);
-                !err.empty())
-                return err;
+                !st.ok()) {
+                // Decode state is undefined after a failure; discard
+                // whatever the router observed mid-window.
+                ws.replayer.endStream();
+                results[s] = ShardResult{};
+                results[s].status = st.withContext(
+                    "shard " + std::to_string(s));
+                continue;
+            }
             results[s].delivered = ws.replayer.endStream();
         }
-        return "";
+        return {};
     };
 
     unsigned threads = o.threads == 0
@@ -474,29 +512,29 @@ runSampled(const ir::Program &prog, const cpu::PlatformConfig &platform,
         threads = static_cast<unsigned>(geo.numShards);
 
     if (threads <= 1) {
-        std::string err;
+        util::Status err;
         std::unique_ptr<ChunkReader> reader = make_reader(err);
         if (!reader) {
-            error = std::move(err);
+            out.status = std::move(err);
             return out;
         }
         WorkerStack ws(prog, platform);
-        if (std::string e = runRange(ws, *reader, 0, geo.numShards);
-            !e.empty()) {
-            error = std::move(e);
+        if (util::Status s = runRange(ws, *reader, 0, geo.numShards);
+            !s.ok()) {
+            out.status = std::move(s);
             return out;
         }
     } else {
         util::ThreadPool pool(threads);
-        std::vector<std::future<std::string>> futures;
+        std::vector<std::future<util::Status>> futures;
         for (unsigned w = 0; w < threads; w++) {
             const size_t s0 = geo.numShards * w / threads;
             const size_t s1 = geo.numShards * (w + 1) / threads;
             if (s0 == s1)
                 continue;
             futures.push_back(
-                pool.submit([&, s0, s1]() -> std::string {
-                    std::string err;
+                pool.submit([&, s0, s1]() -> util::Status {
+                    util::Status err;
                     std::unique_ptr<ChunkReader> reader =
                         make_reader(err);
                     if (!reader)
@@ -505,28 +543,50 @@ runSampled(const ir::Program &prog, const cpu::PlatformConfig &platform,
                     return runRange(ws, *reader, s0, s1);
                 }));
         }
+        util::Status first;
         for (auto &f : futures) {
-            std::string err = f.get();
-            if (!err.empty() && error.empty())
-                error = std::move(err);
+            util::Status s = f.get();
+            if (!s.ok() && first.ok())
+                first = std::move(s);
         }
-        if (!error.empty())
+        if (!first.ok()) {
+            out.status = std::move(first);
             return out;
+        }
     }
 
     out = mergeShards(results, total_instructions,
                       platform.core.clockGhz, verified);
+    if (out.failedShards == out.shards && out.shards > 0) {
+        // Nothing survived; surface the first shard's failure rather
+        // than an empty estimate (and don't mask it with the
+        // exhaustive fallback, which would re-run the whole trace).
+        for (const ShardResult &r : results)
+            if (!r.status.ok()) {
+                util::Status s = r.status;
+                out.status = s.withContext("every shard failed");
+                break;
+            }
+        return out;
+    }
     if (out.intervals == 0) {
         // Too short for even one completed interval anywhere: measure
         // the whole trace in detail instead of reporting nothing.
-        std::string err;
+        util::Status err;
         std::unique_ptr<ChunkReader> reader = make_reader(err);
         if (!reader) {
-            error = std::move(err);
+            out.status = std::move(err);
             return out;
         }
-        return runExhaustive(prog, platform, *reader, num_chunks,
-                             total_instructions, verified, error);
+        SampledTimingResult ex =
+            runExhaustive(prog, platform, *reader, num_chunks,
+                          total_instructions, verified);
+        // Keep the sampled attempt's shard incidents visible: the
+        // fallback covers the whole trace, but the caller still wants
+        // the degradation on record (manifest failures).
+        ex.failedShards = out.failedShards;
+        ex.shardErrors = std::move(out.shardErrors);
+        return ex;
     }
     return out;
 }
@@ -591,19 +651,15 @@ sampleTiming(const CachedTrace &trace,
              const cpu::PlatformConfig &platform,
              const SamplingOptions &opts)
 {
-    std::string error;
     ReaderFactory make_reader =
-        [&trace](std::string &) -> std::unique_ptr<ChunkReader> {
+        [&trace](util::Status &) -> std::unique_ptr<ChunkReader> {
         return std::make_unique<MemoryReader>(trace.trace);
     };
-    SampledTimingResult res = runSampled(
-        *trace.prog, platform, opts, trace.trace.chunks().size(),
-        trace.trace.keyframeInterval(), trace.trace.instructions(),
-        trace.verified, make_reader, error);
-    // The memory reader cannot fail; any error here would be a
-    // programming error surfaced by the codec's own fatal paths.
-    (void)error;
-    return res;
+    return runSampled(*trace.prog, platform, opts,
+                      trace.trace.chunks().size(),
+                      trace.trace.keyframeInterval(),
+                      trace.trace.instructions(), trace.verified,
+                      make_reader);
 }
 
 SampledFileResult
@@ -613,30 +669,31 @@ sampleTimingFile(const std::string &path,
 {
     SampledFileResult res;
     TraceFileStream head;
-    if (std::string err = head.open(path); !err.empty()) {
-        res.error = std::move(err);
+    if (util::Status s = head.open(path); !s.ok()) {
+        res.status = s.withContext("sampling '" + path + "'");
         return res;
     }
     res.key = head.key();
     std::unique_ptr<ir::Program> prog;
-    if (std::string err =
+    if (util::Status s =
             buildReplayProgram(head.key(), head.sidLimit(), prog);
-        !err.empty()) {
-        res.error = std::move(err);
+        !s.ok()) {
+        res.status = std::move(s);
         return res;
     }
     ReaderFactory make_reader =
-        [&path](std::string &err) -> std::unique_ptr<ChunkReader> {
+        [&path](util::Status &err) -> std::unique_ptr<ChunkReader> {
         auto reader = std::make_unique<FileReader>();
         err = reader->open(path);
-        if (!err.empty())
+        if (!err.ok())
             return nullptr;
         return reader;
     };
     res.result = runSampled(*prog, platform, opts, head.numChunks(),
                             head.keyframeInterval(),
                             head.instructions(), head.verified(),
-                            make_reader, res.error);
+                            make_reader);
+    res.status = res.result.status;
     return res;
 }
 
@@ -658,6 +715,7 @@ SampledTimingResult::report() const
     v["measured_mispredicts"] = measuredMispredicts;
     v["intervals"] = intervals;
     v["shards"] = shards;
+    v["failed_shards"] = failedShards;
     v["verified"] = verified;
     v["exhaustive"] = exhaustive;
     return v;

@@ -124,6 +124,20 @@ struct SampledTimingResult
      * ci95 0).
      */
     bool exhaustive = false;
+    /**
+     * Shards dropped from the estimate (fail point, corrupt window
+     * chunk). The survivors still merge into a valid — slightly
+     * wider-CI — estimate; shardErrors holds one formatted Status per
+     * dropped shard for run-manifest failure entries.
+     */
+    uint64_t failedShards = 0;
+    std::vector<std::string> shardErrors;
+    /**
+     * OK when the run produced an estimate (possibly with dropped
+     * shards); a failure means no shard survived or the reader could
+     * not be constructed at all.
+     */
+    util::Status status;
 
     util::json::Value report() const;
 };
@@ -166,8 +180,8 @@ struct SampledFileResult
 {
     SampledTimingResult result;
     TraceKey key;
-    /** Empty on success. */
-    std::string error;
+    /** OK on success (mirrors result.status once the run starts). */
+    util::Status status;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include "cpu/inorder_core.h"
 #include "cpu/ooo_core.h"
 #include "regalloc/linear_scan.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 #include "vm/interpreter.h"
 #include "vm/trace_codec.h"
@@ -31,9 +32,13 @@ Simulator::characterize(apps::AppRun &run)
     interp.addSink(res.coverageProfiler.get());
     interp.addSink(res.cacheProfiler.get());
     interp.addSink(res.loadBranchProfiler.get());
-    run.driver(interp);
+    try {
+        run.driver(interp);
+        res.verified = run.verify();
+    } catch (const util::StatusError &e) {
+        res.status = e.status();
+    }
     res.instructions = interp.totalInstrs();
-    res.verified = run.verify();
     res.mix = res.mixProfiler->summary();
     res.coverage = res.coverageProfiler->summary();
     res.cache = res.cacheProfiler->summary();
@@ -86,10 +91,18 @@ Simulator::time(apps::AppRun &run, const cpu::PlatformConfig &platform)
     auto predictor = platform.makePredictor();
 
     vm::Interpreter interp(*run.prog);
+    auto drive = [&run, &interp]() -> util::Status {
+        try {
+            run.driver(interp);
+            return {};
+        } catch (const util::StatusError &e) {
+            return e.status();
+        }
+    };
     if (platform.core.outOfOrder) {
         cpu::OooCore core(platform.core, &caches, predictor.get());
         interp.addSink(&core);
-        run.driver(interp);
+        res.status = drive();
         res.cycles = core.cycles();
         res.instructions = core.instructions();
         res.mispredicts = core.branchMispredictions();
@@ -98,14 +111,15 @@ Simulator::time(apps::AppRun &run, const cpu::PlatformConfig &platform)
     } else {
         cpu::InorderCore core(platform.core, &caches, predictor.get());
         interp.addSink(&core);
-        run.driver(interp);
+        res.status = drive();
         res.cycles = core.cycles();
         res.instructions = core.instructions();
         res.mispredicts = core.branchMispredictions();
         res.ipc = core.ipc();
         res.seconds = core.seconds();
     }
-    res.verified = run.verify();
+    if (res.status.ok())
+        res.verified = run.verify();
     return res;
 }
 
@@ -149,8 +163,13 @@ Simulator::characterizeReplay(const CachedTrace &trace)
     replayer.addSink(res.coverageProfiler.get());
     replayer.addSink(res.cacheProfiler.get());
     replayer.addSink(res.loadBranchProfiler.get());
-    res.instructions = replayer.replay();
-    res.verified = trace.verified;
+    util::StatusOr<uint64_t> delivered = replayer.replay();
+    if (delivered.ok()) {
+        res.instructions = delivered.value();
+        res.verified = trace.verified;
+    } else {
+        res.status = delivered.status();
+    }
     res.mix = res.mixProfiler->summary();
     res.coverage = res.coverageProfiler->summary();
     res.cache = res.cacheProfiler->summary();
@@ -170,7 +189,7 @@ Simulator::timeReplay(const CachedTrace &trace,
     if (platform.core.outOfOrder) {
         cpu::OooCore core(platform.core, &caches, predictor.get());
         replayer.addSink(&core);
-        replayer.replay();
+        res.status = replayer.replay().status();
         res.cycles = core.cycles();
         res.instructions = core.instructions();
         res.mispredicts = core.branchMispredictions();
@@ -179,14 +198,14 @@ Simulator::timeReplay(const CachedTrace &trace,
     } else {
         cpu::InorderCore core(platform.core, &caches, predictor.get());
         replayer.addSink(&core);
-        replayer.replay();
+        res.status = replayer.replay().status();
         res.cycles = core.cycles();
         res.instructions = core.instructions();
         res.mispredicts = core.branchMispredictions();
         res.ipc = core.ipc();
         res.seconds = core.seconds();
     }
-    res.verified = trace.verified;
+    res.verified = res.status.ok() && trace.verified;
     return res;
 }
 
@@ -231,7 +250,7 @@ Simulator::timeReplayMany(
             replayer.addSink(s.inorder.get());
         }
     }
-    replayer.replay();
+    const util::Status replay_status = replayer.replay().status();
 
     std::vector<TimingResult> results(platforms.size());
     for (size_t i = 0; i < platforms.size(); i++) {
@@ -251,7 +270,8 @@ Simulator::timeReplayMany(
             res.ipc = core.ipc();
             res.seconds = core.seconds();
         }
-        res.verified = trace.verified;
+        res.status = replay_status;
+        res.verified = replay_status.ok() && trace.verified;
     }
     return results;
 }
@@ -398,13 +418,48 @@ runAll(const std::vector<Job> &jobs, const SweepOptions &opts,
             remaining[key_str[i]]++;
     }
 
-    auto run_one = [&](size_t i) -> Result {
+    // Degradation ladder, in preference order: replay the cached
+    // trace; if recording failed (after its retry), interpret live;
+    // if a replay decoded corrupt data, quarantine the entry,
+    // re-record and retry once, then interpret live. A job only
+    // carries a failed Status when every rung failed — and even then
+    // its slot is a well-formed Result, so the sweep always returns
+    // jobs.size() entries.
+    auto run_one_impl = [&](size_t i) -> Result {
+        if (BIOPERF_FAILPOINT("pool.task.throw"))
+            throw util::StatusError(util::Status::internal(
+                "fail point pool.task.throw fired"));
         if (!replay[i])
             return live_fn(jobs[i]);
         const TraceKey key = makeKey(jobs[i]);
-        TraceCache::Ptr trace = cache->obtain(key);
+        auto decrement = [&] {
+            if (evict)
+                remaining.find(key_str[i])->second.fetch_sub(1);
+        };
+        util::StatusOr<TraceCache::Ptr> got = cache->obtain(key);
+        if (!got.ok()) {
+            cache->noteLiveFallback(key, got.status());
+            decrement();
+            return live_fn(jobs[i]);
+        }
+        TraceCache::Ptr trace = got.value();
         const double t0 = wallNow();
         Result r = replay_fn(*trace, jobs[i]);
+        if (!r.status.ok()) {
+            cache->quarantine(key, r.status);
+            trace.reset();
+            got = cache->obtain(key);
+            if (got.ok()) {
+                trace = got.value();
+                r = replay_fn(*trace, jobs[i]);
+            }
+            if (!got.ok() || !r.status.ok()) {
+                cache->noteLiveFallback(
+                    key, got.ok() ? r.status : got.status());
+                decrement();
+                return live_fn(jobs[i]);
+            }
+        }
         cache->noteReplay(wallNow() - t0, trace->instructions);
         if (evict &&
             remaining.find(key_str[i])->second.fetch_sub(1) == 1) {
@@ -412,6 +467,20 @@ runAll(const std::vector<Job> &jobs, const SweepOptions &opts,
             cache->erase(key);
         }
         return r;
+    };
+    auto run_one = [&](size_t i) -> Result {
+        try {
+            return run_one_impl(i);
+        } catch (const util::StatusError &e) {
+            Result r{};
+            r.status = e.status();
+            return r;
+        } catch (const std::exception &e) {
+            Result r{};
+            r.status = util::Status::internal(
+                std::string("sweep worker: ") + e.what());
+            return r;
+        }
     };
 
     if (threads <= 1 || jobs.size() <= 1) {
@@ -439,14 +508,50 @@ runAll(const std::vector<Job> &jobs, const SweepOptions &opts,
             const std::vector<size_t> &members = it->second;
             const TraceKey key = makeKey(jobs[i]);
             TraceCache::Ptr trace;
-            for (size_t m = 0; m < members.size(); m++)
-                trace = cache->obtain(key);
+            util::Status obtain_err;
+            for (size_t m = 0; m < members.size() && obtain_err.ok();
+                 m++) {
+                util::StatusOr<TraceCache::Ptr> got =
+                    cache->obtain(key);
+                if (got.ok())
+                    trace = got.value();
+                else
+                    obtain_err = got.status();
+            }
+            if (!obtain_err.ok() || !trace) {
+                // The shared recording failed: degrade to per-member
+                // jobs, each walking the full fallback ladder (which
+                // does its own incident accounting).
+                for (size_t idx : members) {
+                    results[idx] = run_one(idx);
+                    done[idx] = true;
+                }
+                continue;
+            }
             std::vector<const Job *> group_jobs;
             group_jobs.reserve(members.size());
             for (size_t idx : members)
                 group_jobs.push_back(&jobs[idx]);
             const double t0 = wallNow();
             std::vector<Result> rs = group_fn(*trace, group_jobs);
+            util::Status group_err;
+            for (const Result &r : rs)
+                if (!r.status.ok()) {
+                    group_err = r.status;
+                    break;
+                }
+            if (!group_err.ok()) {
+                // The one shared decode hit corrupt data; every
+                // member saw it. Quarantine so re-obtains re-record,
+                // then retry per member.
+                cache->quarantine(key, group_err);
+                trace.reset();
+                for (size_t idx : members) {
+                    results[idx] = run_one(idx);
+                    done[idx] = true;
+                }
+                continue;
+            }
             // One wall-clock pass delivered the full stream to every
             // member, so the effective replayed-instruction count is
             // per consumer.

@@ -35,8 +35,16 @@ struct CharacterizationResult
     profile::LoadBranchSummary loadBranch;
     uint64_t instructions = 0;
     bool verified = false;
+    /**
+     * OK for a complete characterization. A sweep entry that failed
+     * (fail point, corrupt replay with no live fallback possible,
+     * worker exception) carries the failure here with its counters
+     * zero or partial; report() never includes it — failures are
+     * surfaced through the run manifest instead.
+     */
+    util::Status status;
 
-    /** Deep-dive access to the full profilers (always non-null). */
+    /** Deep-dive access to the full profilers (null on failure). */
     std::unique_ptr<profile::InstructionMixProfiler> mixProfiler;
     std::unique_ptr<profile::LoadCoverageProfiler> coverageProfiler;
     std::unique_ptr<profile::CacheProfiler> cacheProfiler;
@@ -55,6 +63,8 @@ struct TimingResult
     double ipc = 0.0;
     double seconds = 0.0;
     bool verified = false;
+    /** OK for a complete run (see CharacterizationResult::status). */
+    util::Status status;
 
     util::json::Value report() const;
 };

@@ -12,6 +12,7 @@
 
 #include "apps/app.h"
 #include "util/metrics.h"
+#include "util/status.h"
 #include "vm/trace_codec.h"
 
 namespace bioperf::core {
@@ -72,11 +73,26 @@ struct CachedTrace
  * an ephemeral per-call cache by default (recording only workloads
  * shared by ≥2 jobs, evicted after their last use); benches hold a
  * persistent instance to reuse recordings across calls.
+ *
+ * Failure semantics: a recording that fails is retried once inside
+ * the same single-flight slot; if the retry also fails, every waiter
+ * receives the Status and the entry is dropped so a later obtain()
+ * re-attempts instead of replaying a poisoned future forever.
+ * quarantine() evicts an entry whose payload failed decode so the
+ * next lookup re-records rather than looping on corrupt data.
  */
 class TraceCache
 {
   public:
     using Ptr = std::shared_ptr<const CachedTrace>;
+
+    /** One degradation event, for run-manifest `failures` entries. */
+    struct Incident
+    {
+        std::string stage; ///< "trace_record", "trace_quarantine", ...
+        std::string key;   ///< TraceKey::str() of the workload
+        std::string error; ///< formatted Status
+    };
 
     /** Aggregate record/replay cost, for RunManifest stages. */
     struct Stats
@@ -87,6 +103,15 @@ class TraceCache
         uint64_t recordedInstructions = 0;
         double replaySeconds = 0.0;
         uint64_t replayedInstructions = 0;
+        /** Recordings retried after a first failure. */
+        uint64_t recordRetries = 0;
+        /** Recordings that failed even after the retry. */
+        uint64_t recordFailures = 0;
+        /** Entries evicted because their payload failed decode. */
+        uint64_t quarantined = 0;
+        /** Sweep jobs that fell back to live execution. */
+        uint64_t liveFallbacks = 0;
+        std::vector<Incident> incidents;
 
         /**
          * Appends "trace_record" / "trace_replay" stages (wall time +
@@ -94,21 +119,35 @@ class TraceCache
          * BENCH artifacts separate capture cost from analysis cost.
          */
         void addStagesTo(util::RunManifest &manifest) const;
+
+        /** Appends one manifest failure entry per incident. */
+        void addFailuresTo(util::RunManifest &manifest) const;
     };
 
     /**
      * Returns the trace for @a key, recording it on first use
      * (build the app run, apply the register-pressure rewrite if the
      * key asks for it, interpret the full workload once with a
-     * TraceRecorder attached, verify against the golden model).
+     * TraceRecorder attached, verify against the golden model). A
+     * failed recording is retried once; a persistent failure is
+     * returned to every waiter and the entry is dropped.
      */
-    Ptr obtain(const TraceKey &key);
+    util::StatusOr<Ptr> obtain(const TraceKey &key);
 
-    /** The cached trace, or null when absent or still recording. */
+    /** The cached trace, or null when absent, failed or recording. */
     Ptr lookup(const TraceKey &key) const;
 
     /** Registers an externally produced trace (e.g. a loaded file). */
     void insert(const TraceKey &key, Ptr trace);
+
+    /**
+     * Evicts @a key because its payload failed decode (@a why), so
+     * the next obtain() re-records instead of replaying corrupt data.
+     */
+    void quarantine(const TraceKey &key, const util::Status &why);
+
+    /** Records that a sweep job degraded to live execution. */
+    void noteLiveFallback(const TraceKey &key, const util::Status &why);
 
     void erase(const TraceKey &key);
     void clear();
@@ -121,12 +160,19 @@ class TraceCache
     /** Accounts one replay's cost (called by the replay paths). */
     void noteReplay(double seconds, uint64_t instructions);
 
-    /** One-shot record with no caching (CLI --trace-out, benches). */
-    static Ptr record(const TraceKey &key);
+    /**
+     * One-shot record with no caching or retry (CLI --trace-out,
+     * benches). Fails with kUnavailable under the cache.record.fail
+     * fail point and surfaces interpreter/regalloc invariant errors
+     * as statuses instead of terminating.
+     */
+    static util::StatusOr<Ptr> record(const TraceKey &key);
 
   private:
     mutable std::mutex mu_;
-    std::unordered_map<std::string, std::shared_future<Ptr>> entries_;
+    std::unordered_map<std::string,
+                       std::shared_future<util::StatusOr<Ptr>>>
+        entries_;
     Stats stats_;
 };
 
@@ -135,53 +181,89 @@ class TraceCache
  * variant, scale, seed, register file) plus the encoded chunks — not
  * the program, which the loader rebuilds deterministically from the
  * registry and validates by sid-space fingerprint. Layout: versioned
- * header (v2 adds the instruction count and keyframe interval),
- * identity block, per-chunk framing (v2 adds each chunk's start seq),
- * instruction-count trailer (see trace_cache.cc for the field list).
+ * header, identity block, per-chunk framing, trailer (see
+ * trace_cache.cc for the field list). v3 adds a CRC32C per chunk
+ * payload, per-chunk flags, and a whole-file metadata digest; v2
+ * files are still readable (without integrity checks).
  */
 
-/** @return empty string on success, else a diagnostic. */
-std::string saveTraceFile(const std::string &path, const TraceKey &key,
-                          const CachedTrace &trace);
+/**
+ * Writes @a trace as a v3 .bptrace. kIoError on open/write failure
+ * (including a short write forced by the trace.write.short fail
+ * point); the file contents are unspecified after a failure.
+ */
+util::Status saveTraceFile(const std::string &path, const TraceKey &key,
+                           const CachedTrace &trace);
 
 struct TraceLoadResult
 {
     TraceKey key;
     TraceCache::Ptr trace;
-    /** Empty on success; on failure @a trace is null. */
-    std::string error;
+    /** OK on success; on failure @a trace is null. */
+    util::Status status;
 };
 
 /**
- * Loads, validates (magic, version, chunk framing, trailer count,
- * full decode) and re-materializes the replay program for a saved
- * trace. Built on TraceFileStream, so validation decodes each chunk
- * as it streams off disk in a single pass.
+ * Loads, validates (magic, version, chunk framing, checksums, trailer
+ * count, full decode) and re-materializes the replay program for a
+ * saved trace. Built on TraceFileStream, so validation decodes each
+ * chunk as it streams off disk in a single pass.
  */
 TraceLoadResult loadTraceFile(const std::string &path);
+
+/**
+ * Best-effort recovery from a truncated or bit-flipped .bptrace.
+ * The header must be intact (it holds the recipe; without it there is
+ * nothing to replay against). Chunks are re-scanned tolerantly, each
+ * keyframe-aligned group whose chunks all pass checksum + decode
+ * validation is kept, and everything else is dropped; the surviving
+ * groups form a gap-marked in-memory trace that replays and samples
+ * through the normal APIs (cores drain on each gap via
+ * TraceSink::onGap()). The salvaged trace's verified flag is always
+ * false — the golden-model verdict applied to the full stream, not
+ * to a subset.
+ */
+struct TraceSalvageResult
+{
+    TraceKey key;
+    /** Salvaged trace; null when nothing was recoverable. */
+    TraceCache::Ptr trace;
+    /** Instruction count the header claimed. */
+    uint64_t totalInstructions = 0;
+    uint64_t recoveredInstructions = 0;
+    uint64_t lostInstructions = 0;
+    size_t totalChunks = 0;
+    size_t recoveredChunks = 0;
+    size_t lostChunks = 0;
+    /** Discontinuities in the salvaged stream (onGap() sites). */
+    size_t gaps = 0;
+    /** OK when at least one keyframe region was recovered. */
+    util::Status status;
+};
+
+TraceSalvageResult salvageTraceFile(const std::string &path);
 
 /**
  * Rebuilds the replay program for @a key from the app registry and
  * checks its sid space against @a sid_limit, the recording's
  * fingerprint. Shared by loadTraceFile() and the streaming consumers
  * (bioperfsim --trace-in, file-based sampling).
- *
- * @return empty string on success (with @a out set), else a
- *         diagnostic.
  */
-std::string buildReplayProgram(const TraceKey &key, uint32_t sid_limit,
-                               std::unique_ptr<ir::Program> &out);
+util::Status buildReplayProgram(const TraceKey &key, uint32_t sid_limit,
+                                std::unique_ptr<ir::Program> &out);
 
 /**
  * Chunk-at-a-time .bptrace reader. open() validates the header,
  * scans the chunk framing into an in-memory index (payloads are
- * skipped, not read), and cross-checks the trailer — so a valid
- * stream never holds more than one chunk's bytes in memory, and
+ * skipped, not read), and cross-checks the trailer — for v3 files
+ * this includes the whole-file metadata digest — so a valid stream
+ * never holds more than one chunk's bytes in memory, and
  * seekToChunk() gives random access at keyframe granularity for
- * sampled replay.
+ * sampled replay. next() verifies each v3 chunk's payload CRC32C as
+ * it is read.
  *
  * Decode validation is NOT performed here; consumers decode through
- * TraceReplayer, which fails loudly on corrupt payloads.
+ * TraceReplayer, which reports corrupt payloads as statuses.
  */
 class TraceFileStream
 {
@@ -194,9 +276,9 @@ class TraceFileStream
 
     /**
      * Opens and validates @a path, leaving the reader positioned at
-     * chunk 0. @return empty string on success, else a diagnostic.
+     * chunk 0.
      */
-    std::string open(const std::string &path);
+    util::Status open(const std::string &path);
 
     /** Workload identity (app resolved against the registry). */
     const TraceKey &key() const { return key_; }
@@ -206,6 +288,8 @@ class TraceFileStream
     uint32_t spills() const { return spills_; }
     bool verified() const { return verified_; }
     uint32_t keyframeInterval() const { return keyframe_interval_; }
+    /** True for v3 files (per-chunk CRCs + metadata digest). */
+    bool hasIntegrity() const { return has_integrity_; }
 
     size_t numChunks() const { return index_.size(); }
     uint64_t chunkStartSeq(size_t idx) const
@@ -222,14 +306,16 @@ class TraceFileStream
     }
 
     /** Positions the reader at chunk @a idx (must be < numChunks()). */
-    std::string seekToChunk(size_t idx);
+    util::Status seekToChunk(size_t idx);
 
     /**
      * Reads the chunk at the current position into @a chunk (reusing
-     * its buffer) and advances. @return false at end of the chunk
-     * list or on I/O error (@a error is set only for errors).
+     * its buffer), verifies its payload CRC on v3 files, and
+     * advances. @return false at end of the chunk list or on failure
+     * (@a error is set only for failures: kIoError for short reads,
+     * kCorruptData for checksum mismatches).
      */
-    bool next(vm::EncodedTrace::Chunk &chunk, std::string &error);
+    bool next(vm::EncodedTrace::Chunk &chunk, util::Status &error);
 
   private:
     struct ChunkInfo
@@ -239,6 +325,8 @@ class TraceFileStream
         uint32_t numEvents = 0;
         uint32_t bitmapOffset = 0;
         uint32_t byteLen = 0;
+        uint32_t crc = 0; ///< payload CRC32C (v3)
+        bool gapBefore = false;
     };
 
     std::FILE *file_ = nullptr;
@@ -251,6 +339,7 @@ class TraceFileStream
     uint32_t spills_ = 0;
     bool verified_ = false;
     uint32_t keyframe_interval_ = 1;
+    bool has_integrity_ = false;
 };
 
 } // namespace bioperf::core

@@ -107,6 +107,14 @@ InorderCore::onRunEnd()
 }
 
 void
+InorderCore::onGap()
+{
+    // Salvage gap: producers of upcoming operands were lost with the
+    // corrupt region; drain dependences as at a run boundary.
+    std::fill(ready_.begin(), ready_.end(), 0);
+}
+
+void
 InorderCore::reset()
 {
     issue_cycle_ = 1;

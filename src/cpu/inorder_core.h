@@ -33,6 +33,7 @@ class InorderCore : public vm::TraceSink, public util::Reportable
     void onInstr(const vm::DynInstr &di) override;
     void onBatch(const vm::DynInstr *batch, size_t n) override;
     void onRunEnd() override;
+    void onGap() override;
 
     /**
      * Returns the core to its post-construction state while keeping

@@ -181,6 +181,17 @@ OooCore::onRunEnd()
 }
 
 void
+OooCore::onGap()
+{
+    // A salvage gap in the trace: the dependency producers for what
+    // follows were never replayed, so drain the scoreboard the same
+    // way a run boundary does. The cycle timeline keeps advancing —
+    // stale pipeline occupancy only makes the salvaged estimate a
+    // touch conservative for a few instructions after the gap.
+    std::fill(ready_.begin(), ready_.end(), 0);
+}
+
+void
 OooCore::reset()
 {
     fetch_cycle_ = 1;

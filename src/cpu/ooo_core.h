@@ -67,6 +67,7 @@ class OooCore : public vm::TraceSink, public util::Reportable
     void onInstr(const vm::DynInstr &di) override;
     void onBatch(const vm::DynInstr *batch, size_t n) override;
     void onRunEnd() override;
+    void onGap() override;
 
     /**
      * Returns the core to its post-construction state (counters and

@@ -1,9 +1,7 @@
 #include "opt/pass.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "ir/verify.h"
+#include "util/status.h"
 
 namespace bioperf::opt {
 
@@ -21,11 +19,10 @@ PassManager::run(ir::Program &prog, ir::Function &fn)
         const PassResult r = pass->run(prog, fn);
         total += r.transformed;
         const std::string err = ir::verify(prog, fn);
-        if (!err.empty()) {
-            std::fprintf(stderr, "pass %s broke the IR: %s\n",
-                         pass->name(), err.c_str());
-            std::abort();
-        }
+        if (!err.empty())
+            throw util::StatusError(util::Status::internal(
+                std::string("pass ") + pass->name() +
+                " broke the IR: " + err));
     }
     prog.renumber();
     return total;

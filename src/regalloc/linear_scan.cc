@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ir/analysis.h"
+#include "util/status.h"
 
 namespace bioperf::regalloc {
 
@@ -123,11 +124,10 @@ ClassAllocator::buildIntervals(const ir::Function &fn, const ir::Cfg &cfg)
 void
 ClassAllocator::scan(const ir::Function &fn)
 {
-    if (num_phys_ <= num_scratch_) {
-        std::fprintf(stderr, "regalloc: fewer than %u registers\n",
-                     num_scratch_ + 1);
-        std::abort();
-    }
+    if (num_phys_ <= num_scratch_)
+        throw util::StatusError(util::Status::invalidArgument(
+            "regalloc: fewer than " + std::to_string(num_scratch_ + 1) +
+            " registers"));
     const uint32_t avail = num_phys_ - num_scratch_;
 
     // Parameters must not spill: mark them so the spill heuristic

@@ -1,0 +1,70 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace bioperf::util {
+namespace {
+
+// Eight slice tables generated at startup from the reflected
+// Castagnoli polynomial. Table 0 is the classic byte-at-a-time
+// table; table k advances a byte that is k positions deeper in the
+// 8-byte block consumed per iteration.
+struct Crc32cTables
+{
+    uint32_t t[8][256];
+
+    Crc32cTables()
+    {
+        constexpr uint32_t kPoly = 0x82f63b78u; // reflected 0x1EDC6F41
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+            t[0][i] = crc;
+        }
+        for (uint32_t i = 0; i < 256; ++i)
+            for (int k = 1; k < 8; ++k)
+                t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+    }
+};
+
+const Crc32cTables &tables()
+{
+    static const Crc32cTables kTables;
+    return kTables;
+}
+
+} // namespace
+
+uint32_t crc32cExtend(uint32_t crc, const void *data, size_t n)
+{
+    const auto &tb = tables();
+    const auto *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+        crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xffu];
+        --n;
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    while (n >= 8) {
+        uint64_t block;
+        __builtin_memcpy(&block, p, 8);
+        block ^= crc;
+        crc = tb.t[7][block & 0xffu] ^ tb.t[6][(block >> 8) & 0xffu] ^
+              tb.t[5][(block >> 16) & 0xffu] ^
+              tb.t[4][(block >> 24) & 0xffu] ^
+              tb.t[3][(block >> 32) & 0xffu] ^
+              tb.t[2][(block >> 40) & 0xffu] ^
+              tb.t[1][(block >> 48) & 0xffu] ^ tb.t[0][block >> 56];
+        p += 8;
+        n -= 8;
+    }
+#endif
+    while (n > 0) {
+        crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xffu];
+        --n;
+    }
+    return ~crc;
+}
+
+} // namespace bioperf::util

@@ -1,0 +1,226 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace bioperf::util {
+namespace {
+
+struct PointState
+{
+    FailPointSpec spec;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+    uint64_t rng = 0; ///< xorshift64 state for Probability mode
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::unordered_map<std::string, PointState> points;
+};
+
+Registry &registry()
+{
+    static Registry *r = new Registry; // never destroyed: usable at exit
+    return *r;
+}
+
+double nextUniform(uint64_t &state)
+{
+    uint64_t x = state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state = x;
+    // 53 mantissa bits -> [0, 1)
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+// Arms every point named in $BIOPERF_FAILPOINTS during static
+// initialization, so binaries pick the variable up without any
+// explicit init call.
+[[maybe_unused]] const bool g_env_armed = [] {
+    FailPoints::armFromEnvironment();
+    return true;
+}();
+
+} // namespace
+
+std::atomic<int> &FailPoints::armedCount()
+{
+    static std::atomic<int> count{0};
+    return count;
+}
+
+bool FailPoints::shouldFail(const char *name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name);
+    if (it == r.points.end())
+        return false;
+    PointState &p = it->second;
+    ++p.hits;
+    bool fire = false;
+    switch (p.spec.mode) {
+    case FailPointSpec::Mode::Always:
+        fire = true;
+        break;
+    case FailPointSpec::Mode::NthHit:
+        fire = p.hits == p.spec.nth;
+        break;
+    case FailPointSpec::Mode::Probability:
+        fire = nextUniform(p.rng) < p.spec.probability;
+        break;
+    }
+    if (fire)
+        ++p.fired;
+    return fire;
+}
+
+void FailPoints::arm(const std::string &name, const FailPointSpec &spec)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto [it, inserted] = r.points.try_emplace(name);
+    it->second.spec = spec;
+    it->second.hits = 0;
+    it->second.fired = 0;
+    // Seed 0 would lock xorshift at zero; mix in a fixed odd constant.
+    it->second.rng = spec.seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+    if (inserted)
+        armedCount().fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoints::disarm(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.points.erase(name) != 0)
+        armedCount().fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailPoints::clearAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    armedCount().fetch_sub(static_cast<int>(r.points.size()),
+                           std::memory_order_relaxed);
+    r.points.clear();
+}
+
+uint64_t FailPoints::hits(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name);
+    return it == r.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::fired(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name);
+    return it == r.points.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string> FailPoints::armedNames()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<std::string> names;
+    names.reserve(r.points.size());
+    for (const auto &[name, state] : r.points)
+        names.push_back(name);
+    return names;
+}
+
+Status FailPoints::armFromSpec(const std::string &spec)
+{
+    struct Parsed
+    {
+        std::string name;
+        FailPointSpec spec;
+    };
+    std::vector<Parsed> parsed;
+
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+
+        Parsed p;
+        size_t eq = entry.find('=');
+        p.name = entry.substr(0, eq);
+        if (p.name.empty())
+            return Status::invalidArgument("fail point spec has empty name: '" +
+                                           entry + "'");
+        if (eq != std::string::npos) {
+            std::string trig = entry.substr(eq + 1);
+            if (trig == "always") {
+                p.spec.mode = FailPointSpec::Mode::Always;
+            } else if (trig.rfind("hit:", 0) == 0) {
+                p.spec.mode = FailPointSpec::Mode::NthHit;
+                char *end = nullptr;
+                p.spec.nth = std::strtoull(trig.c_str() + 4, &end, 10);
+                if (end == trig.c_str() + 4 || *end != '\0' ||
+                    p.spec.nth == 0)
+                    return Status::invalidArgument(
+                        "bad hit:N trigger in fail point spec: '" + entry +
+                        "'");
+            } else if (trig.rfind("prob:", 0) == 0) {
+                p.spec.mode = FailPointSpec::Mode::Probability;
+                char *end = nullptr;
+                p.spec.probability = std::strtod(trig.c_str() + 5, &end);
+                if (end == trig.c_str() + 5 || p.spec.probability < 0.0 ||
+                    p.spec.probability > 1.0)
+                    return Status::invalidArgument(
+                        "bad prob:P trigger in fail point spec: '" + entry +
+                        "'");
+                if (*end == ':') {
+                    char *seed_end = nullptr;
+                    p.spec.seed = std::strtoull(end + 1, &seed_end, 10);
+                    if (seed_end == end + 1 || *seed_end != '\0')
+                        return Status::invalidArgument(
+                            "bad prob seed in fail point spec: '" + entry +
+                            "'");
+                } else if (*end != '\0') {
+                    return Status::invalidArgument(
+                        "trailing junk in fail point spec: '" + entry + "'");
+                }
+            } else {
+                return Status::invalidArgument(
+                    "unknown fail point trigger (want always|hit:N|"
+                    "prob:P[:SEED]): '" +
+                    entry + "'");
+            }
+        }
+        parsed.push_back(std::move(p));
+    }
+
+    for (const Parsed &p : parsed)
+        arm(p.name, p.spec);
+    return {};
+}
+
+void FailPoints::armFromEnvironment()
+{
+    const char *env = std::getenv("BIOPERF_FAILPOINTS");
+    if (env == nullptr || *env == '\0')
+        return;
+    Status s = armFromSpec(env);
+    if (!s.ok())
+        std::fprintf(stderr, "bioperf: ignoring BIOPERF_FAILPOINTS: %s\n",
+                     s.str().c_str());
+}
+
+} // namespace bioperf::util

@@ -1,0 +1,104 @@
+#ifndef BIOPERF_UTIL_FAILPOINT_H_
+#define BIOPERF_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bioperf::util {
+
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A fail point is a named site in library code where a failure can be
+ * forced at run time: a short write, a recording error, a worker
+ * exception. Fail points are compiled in always — the CI fault matrix
+ * exercises release binaries, not a special build — and cost one
+ * relaxed atomic load when nothing is armed.
+ *
+ * Arming, via BIOPERF_FAILPOINTS or FailPoints::arm():
+ *
+ *   BIOPERF_FAILPOINTS="cache.record.fail"            every hit fires
+ *   BIOPERF_FAILPOINTS="trace.write.short=hit:3"      3rd hit only
+ *   BIOPERF_FAILPOINTS="pool.task.throw=prob:0.25:7"  seeded coin flip
+ *
+ * Multiple specs are comma-separated. Probability triggers use a
+ * private per-point xorshift stream keyed by the given seed, so a
+ * seeded run fires at exactly the same hits every time regardless of
+ * thread interleaving of *other* points.
+ *
+ * Usage at a site:
+ *
+ *   if (BIOPERF_FAILPOINT("cache.record.fail"))
+ *       return Status::unavailable("fail point cache.record.fail");
+ */
+struct FailPointSpec
+{
+    enum class Mode : uint8_t {
+        Always,      ///< fire on every hit
+        NthHit,      ///< fire on exactly the nth hit (1-based)
+        Probability, ///< fire with probability p, seeded stream
+    };
+    Mode mode = Mode::Always;
+    uint64_t nth = 1;
+    double probability = 1.0;
+    uint64_t seed = 0;
+};
+
+class FailPoints
+{
+  public:
+    /** True when at least one point is armed. Hot-path gate. */
+    static bool anyArmed()
+    {
+        return armedCount().load(std::memory_order_relaxed) != 0;
+    }
+
+    /**
+     * Records a hit on @a name and decides whether it fires. Only
+     * called behind anyArmed(); takes a mutex, which is fine because
+     * armed runs are fault experiments, not benchmarks.
+     */
+    static bool shouldFail(const char *name);
+
+    static void arm(const std::string &name, const FailPointSpec &spec);
+    static void disarm(const std::string &name);
+    static void clearAll();
+
+    /** Hits recorded on an armed point (0 if not armed). */
+    static uint64_t hits(const std::string &name);
+    /** Times an armed point actually fired. */
+    static uint64_t fired(const std::string &name);
+
+    /** Names of all currently armed points. */
+    static std::vector<std::string> armedNames();
+
+    /**
+     * Parses "name[=trigger],..." where trigger is "always", "hit:N"
+     * or "prob:P[:SEED]", arming each point. Returns the first parse
+     * error without arming anything from a bad spec string.
+     */
+    static Status armFromSpec(const std::string &spec);
+
+    /** Arms from $BIOPERF_FAILPOINTS; malformed specs go to stderr. */
+    static void armFromEnvironment();
+
+  private:
+    static std::atomic<int> &armedCount();
+};
+
+} // namespace bioperf::util
+
+/**
+ * True when the named fail point is armed and fires on this hit.
+ * The disarmed cost is a single predictable-false atomic load.
+ */
+#define BIOPERF_FAILPOINT(name)                                        \
+    (__builtin_expect(::bioperf::util::FailPoints::anyArmed(), 0) &&   \
+     ::bioperf::util::FailPoints::shouldFail(name))
+
+#endif // BIOPERF_UTIL_FAILPOINT_H_

@@ -39,6 +39,16 @@ RunManifest::report() const
         st.push(std::move(e));
     }
     m["stages"] = std::move(st);
+    json::Value fl = json::Value::array();
+    for (const Failure &f : failures) {
+        json::Value e = json::Value::object();
+        e["app"] = f.app;
+        e["variant"] = f.variant;
+        e["stage"] = f.stage;
+        e["error"] = f.error;
+        fl.push(std::move(e));
+    }
+    m["failures"] = std::move(fl);
     return m;
 }
 

@@ -96,6 +96,21 @@ struct RunManifest
         }
     };
 
+    /**
+     * One failure or degradation event observed during the run: a
+     * sweep entry that errored, a recording that fell back to live
+     * execution, a quarantined cache entry. A clean run has an empty
+     * failures array; partial runs still emit their JSON with every
+     * incident listed here.
+     */
+    struct Failure
+    {
+        std::string app;     ///< workload (or trace key) affected
+        std::string variant; ///< "" when not entry-specific
+        std::string stage;   ///< "sweep", "trace_record", ...
+        std::string error;   ///< formatted Status
+    };
+
     std::string bench;   ///< producing binary or tool
     std::string app;     ///< application, or "suite" for multi-app runs
     std::string variant = "baseline";
@@ -105,6 +120,7 @@ struct RunManifest
     unsigned threads = 1;
     std::string traceMode = "batched";
     std::vector<Stage> stages;
+    std::vector<Failure> failures;
 
     void
     addStage(const std::string &name, double wall_seconds,
@@ -113,12 +129,22 @@ struct RunManifest
         stages.push_back(Stage{ name, wall_seconds, instructions });
     }
 
+    void
+    addFailure(const std::string &failed_app,
+               const std::string &failed_variant,
+               const std::string &stage, const std::string &error)
+    {
+        failures.push_back(
+            Failure{ failed_app, failed_variant, stage, error });
+    }
+
     /**
      * The manifest as a JSON object. Every key is always present
-     * (empty string / zero when not applicable) so consumers can rely
-     * on the shape: bench, app, variant, scale, seed, platform,
-     * threads, trace_mode, stages[{name, wall_seconds, instructions,
-     * simulated_mips}].
+     * (empty string / zero / empty array when not applicable) so
+     * consumers can rely on the shape: bench, app, variant, scale,
+     * seed, platform, threads, trace_mode, stages[{name,
+     * wall_seconds, instructions, simulated_mips}], failures[{app,
+     * variant, stage, error}].
      */
     json::Value report() const;
 };

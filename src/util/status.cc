@@ -1,0 +1,89 @@
+#include "util/status.h"
+
+namespace bioperf::util {
+
+const char *statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::kOk:
+        return "OK";
+    case StatusCode::kInvalidArgument:
+        return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+        return "NOT_FOUND";
+    case StatusCode::kCorruptData:
+        return "CORRUPT_DATA";
+    case StatusCode::kIoError:
+        return "IO_ERROR";
+    case StatusCode::kFailedPrecondition:
+        return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable:
+        return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+Status::Status(StatusCode code, std::string message)
+{
+    if (code != StatusCode::kOk)
+        rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+}
+
+Status &Status::withContext(const std::string &context)
+{
+    if (rep_) {
+        // Copy-on-write: other holders of this rep keep their view.
+        rep_ = std::make_shared<Rep>(
+            Rep{rep_->code, context + ": " + rep_->message});
+    }
+    return *this;
+}
+
+std::string Status::str() const
+{
+    if (ok())
+        return "OK";
+    std::string out = statusCodeName(rep_->code);
+    out += ": ";
+    out += rep_->message;
+    return out;
+}
+
+Status Status::invalidArgument(std::string m)
+{
+    return {StatusCode::kInvalidArgument, std::move(m)};
+}
+Status Status::notFound(std::string m)
+{
+    return {StatusCode::kNotFound, std::move(m)};
+}
+Status Status::corruptData(std::string m)
+{
+    return {StatusCode::kCorruptData, std::move(m)};
+}
+Status Status::ioError(std::string m)
+{
+    return {StatusCode::kIoError, std::move(m)};
+}
+Status Status::failedPrecondition(std::string m)
+{
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+}
+Status Status::unavailable(std::string m)
+{
+    return {StatusCode::kUnavailable, std::move(m)};
+}
+Status Status::resourceExhausted(std::string m)
+{
+    return {StatusCode::kResourceExhausted, std::move(m)};
+}
+Status Status::internal(std::string m)
+{
+    return {StatusCode::kInternal, std::move(m)};
+}
+
+} // namespace bioperf::util

@@ -1,0 +1,190 @@
+#ifndef BIOPERF_UTIL_STATUS_H_
+#define BIOPERF_UTIL_STATUS_H_
+
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bioperf::util {
+
+/**
+ * @file
+ * Error propagation for library code.
+ *
+ * The simulation library must never terminate the process on bad
+ * input: one corrupt cached trace or one throwing sweep worker used
+ * to std::abort() the whole multi-app run. Library functions now
+ * return Status / StatusOr<T>; only the CLI maps them to exit codes
+ * and user-facing diagnostics.
+ *
+ * Code that cannot return a Status — decode hot loops, constructors,
+ * deep interpreter dispatch — throws StatusError instead, and the
+ * nearest subsystem boundary (TraceReplayer::streamChunk, the sweep
+ * job wrapper) catches it and converts back to a Status. Nothing in
+ * the library lets a StatusError escape to the process level.
+ */
+
+enum class StatusCode : uint8_t {
+    kOk = 0,
+    /** Caller passed something malformed (bad range, bad IR). */
+    kInvalidArgument,
+    /** A named entity (app, file, cache entry) does not exist. */
+    kNotFound,
+    /** Stored data failed validation: checksum, framing, decode. */
+    kCorruptData,
+    /** The operating system failed a read/write/open. */
+    kIoError,
+    /** The operation needs state the caller has not established. */
+    kFailedPrecondition,
+    /** Transient refusal (fail point, retryable recording). */
+    kUnavailable,
+    /** A hard cap was hit (instruction limit, memory bound). */
+    kResourceExhausted,
+    /** An internal invariant broke; a bug, not an input problem. */
+    kInternal,
+};
+
+/** Stable upper-case name ("CORRUPT_DATA") for diagnostics. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * Success or an error with a code, a message and a context chain.
+ * Copying is one shared_ptr bump; the OK status allocates nothing.
+ * Prepend call-site context while unwinding with withContext(), so a
+ * failure reads outermost-first:
+ *
+ *   "loading 'x.bptrace': chunk 12: payload checksum mismatch"
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** OK. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message);
+
+    bool ok() const { return rep_ == nullptr; }
+    StatusCode code() const
+    {
+        return rep_ ? rep_->code : StatusCode::kOk;
+    }
+    /** The message with its context chain; "" when OK. */
+    const std::string &message() const
+    {
+        static const std::string empty;
+        return rep_ ? rep_->message : empty;
+    }
+
+    /** Prepends "@a context: " to the message; no-op when OK. */
+    Status &withContext(const std::string &context);
+
+    /** "OK" or "CODE_NAME: context: message". */
+    std::string str() const;
+
+    static Status invalidArgument(std::string m);
+    static Status notFound(std::string m);
+    static Status corruptData(std::string m);
+    static Status ioError(std::string m);
+    static Status failedPrecondition(std::string m);
+    static Status unavailable(std::string m);
+    static Status resourceExhausted(std::string m);
+    static Status internal(std::string m);
+
+  private:
+    struct Rep
+    {
+        StatusCode code;
+        std::string message;
+    };
+    std::shared_ptr<Rep> rep_; ///< null means OK
+
+    Status(std::shared_ptr<Rep> rep) : rep_(std::move(rep)) {}
+};
+
+/**
+ * Exception carrying a Status, for code that cannot return one.
+ * Thrown by decode hot paths and invariant checks; caught and
+ * unwrapped at subsystem boundaries. what() is the formatted status.
+ */
+class StatusError : public std::exception
+{
+  public:
+    explicit StatusError(Status status)
+        : status_(std::move(status)), what_(status_.str())
+    {
+    }
+
+    const Status &status() const { return status_; }
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    Status status_;
+    std::string what_;
+};
+
+/**
+ * A T or the Status explaining why there is none. value() on a failed
+ * StatusOr throws StatusError (it does not abort), so even misuse
+ * stays recoverable at the sweep boundary.
+ */
+template <typename T>
+class [[nodiscard]] StatusOr
+{
+  public:
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        if (status_.ok())
+            status_ = Status::internal(
+                "StatusOr constructed from an OK status with no value");
+    }
+
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    T &value() &
+    {
+        requireOk();
+        return *value_;
+    }
+    const T &value() const &
+    {
+        requireOk();
+        return *value_;
+    }
+    T &&value() &&
+    {
+        requireOk();
+        return std::move(*value_);
+    }
+
+    T *operator->()
+    {
+        requireOk();
+        return &*value_;
+    }
+    const T *operator->() const
+    {
+        requireOk();
+        return &*value_;
+    }
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+  private:
+    void requireOk() const
+    {
+        if (!status_.ok())
+            throw StatusError(status_);
+    }
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace bioperf::util
+
+#endif // BIOPERF_UTIL_STATUS_H_

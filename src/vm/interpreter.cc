@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "ir/verify.h"
+#include "util/status.h"
 
 namespace bioperf::vm {
 
@@ -68,12 +69,9 @@ Interpreter::flatten(const ir::Function &fn)
     // register files unchecked: malformed IR fails loudly here
     // instead of silently as out-of-bounds reads mid-run.
     const std::string err = ir::verify(prog_, fn);
-    if (!err.empty()) {
-        std::fprintf(stderr,
-                     "interpreter: refusing to execute invalid IR: %s\n",
-                     err.c_str());
-        std::abort();
-    }
+    if (!err.empty())
+        throw util::StatusError(util::Status::invalidArgument(
+            "interpreter: refusing to execute invalid IR: " + err));
 
     std::vector<uint32_t> block_start(fn.blocks.size(), 0);
     uint32_t at = 0;
@@ -317,12 +315,16 @@ Interpreter::run(const ir::Function &fn,
         if (halt)
             break;
         if (count >= max_instrs) {
-            std::fprintf(stderr,
-                         "interpreter: instruction cap (%llu) exceeded "
-                         "in %s — likely a non-terminating kernel\n",
-                         static_cast<unsigned long long>(max_instrs),
-                         fn.name.c_str());
-            std::abort();
+            // Flush what already retired so sinks are not left with a
+            // partial batch, then surface the runaway as a status the
+            // sweep boundary can record per app.
+            if (batched && bn > 0)
+                flush(bn);
+            total_instrs_ += count;
+            throw util::StatusError(util::Status::resourceExhausted(
+                "interpreter: instruction cap (" +
+                std::to_string(max_instrs) + ") exceeded in " + fn.name +
+                " — likely a non-terminating kernel"));
         }
         idx = next;
     }

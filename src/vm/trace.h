@@ -71,6 +71,17 @@ class TraceSink
 
     /** Called when one Interpreter::run() invocation finishes. */
     virtual void onRunEnd() {}
+
+    /**
+     * Called by trace replay when the stream skips over a region lost
+     * to corruption (salvaged traces only): instructions between the
+     * previous event and the next one are missing, though the run did
+     * not end. Stateful timing sinks should drain in-flight work the
+     * same way they do at a run boundary; profilers that only
+     * accumulate per-event counts can ignore it. Never fires on live
+     * execution or on intact traces.
+     */
+    virtual void onGap() {}
 };
 
 } // namespace bioperf::vm

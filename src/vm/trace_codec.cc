@@ -1,8 +1,6 @@
 #include "vm/trace_codec.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 
 namespace bioperf::vm {
 
@@ -34,11 +32,18 @@ kindOf(ir::Opcode op)
     return kPlain;
 }
 
+/**
+ * Corrupt-trace escape hatch for the decode hot loop: returning a
+ * Status per event would put a branch on every byte, so malformed
+ * input throws and the streaming entry points (streamChunk,
+ * replayRange) translate back to kCorruptData. Never escapes the
+ * codec's public API.
+ */
 [[noreturn]] void
-fatal(const char *what)
+corrupt(const char *what)
 {
-    std::fprintf(stderr, "trace codec: %s\n", what);
-    std::abort();
+    throw util::StatusError(
+        util::Status::corruptData(std::string("trace codec: ") + what));
 }
 
 uint64_t
@@ -53,14 +58,14 @@ readVarintSlow(const uint8_t *&p, const uint8_t *end)
             return v;
         shift += 7;
         if (shift >= 64)
-            fatal("varint longer than 64 bits (corrupt trace)");
+            corrupt("varint longer than 64 bits");
     }
-    fatal("varint runs past chunk payload (corrupt trace)");
+    corrupt("varint runs past chunk payload");
 }
 
 /**
  * Reads one varint from *p, with a branch-free-ish fast path for the
- * dominant single-byte case. Overruns abort (in the slow path), so a
+ * dominant single-byte case. Overruns throw (in the slow path), so a
  * corrupt trace fails loudly instead of reading out of bounds.
  */
 inline uint64_t
@@ -121,7 +126,8 @@ buildSidTable(const ir::Program &prog)
         for (const auto &bb : prog.function(f).blocks) {
             for (const auto &in : bb.instrs) {
                 if (in.sid >= table.size())
-                    fatal("instruction sid beyond Program::sidLimit()");
+                    throw util::StatusError(util::Status::internal(
+                        "instruction sid beyond Program::sidLimit()"));
                 table[in.sid] = &in;
             }
         }
@@ -283,8 +289,9 @@ TraceReplayer::TraceReplayer(const EncodedTrace &trace,
     : TraceReplayer(prog)
 {
     if (prog.sidLimit() != trace.sidLimit())
-        fatal("replay program sid space differs from the recording "
-              "(trace was captured from a different program)");
+        init_status_ = util::Status::failedPrecondition(
+            "replay program sid space differs from the recording "
+            "(trace was captured from a different program)");
     trace_ = &trace;
 }
 
@@ -316,15 +323,34 @@ TraceReplayer::endStream()
     return delivered_;
 }
 
-void
+util::Status
 TraceReplayer::streamChunk(const EncodedTrace::Chunk &chunk)
 {
-    decodeChunk(chunk);
+    if (!init_status_.ok())
+        return init_status_;
+    try {
+        decodeChunk(chunk);
+        return {};
+    } catch (const util::StatusError &e) {
+        return e.status();
+    }
 }
 
 void
 TraceReplayer::decodeChunk(const EncodedTrace::Chunk &chunk)
 {
+    // A salvage gap: the chunks that originally preceded this one are
+    // gone, so drain the sinks' in-flight state (pipeline/scoreboard)
+    // and resume per-run seq numbering where the chunk expects it.
+    if (__builtin_expect(chunk.gapBefore, 0)) {
+        if (batch_n_ > 0) {
+            flush(batch_n_);
+            batch_n_ = 0;
+        }
+        for (TraceSink *s : sinks_)
+            s->onGap();
+        seq_ = chunk.startSeq;
+    }
     // Mirror the recorder's keyframe reset (idempotent when the
     // stream just began here — beginStream() resets the same state).
     if (chunk.keyframe) {
@@ -371,8 +397,12 @@ TraceReplayer::decodeChunk(const EncodedTrace::Chunk &chunk)
             prev_sid + static_cast<uint64_t>(zigzagDecode(code - 1));
         prev_sid = sid;
         if (__builtin_expect(sid >= sid_limit, 0))
-            fatal("event sid out of range (corrupt trace)");
+            corrupt("event sid out of range");
         const SidDecode &sd = sids[sid];
+        // A sid inside the limit can still be unused by the program;
+        // delivering its null instr pointer would crash the sinks.
+        if (__builtin_expect(sd.proto.instr == nullptr, 0))
+            corrupt("event references an unused sid");
         DynInstr &di = batch[bn];
         di = sd.proto; // one copy: instr set, dynamic fields zeroed
         di.seq = seq++;
@@ -398,7 +428,7 @@ TraceReplayer::decodeChunk(const EncodedTrace::Chunk &chunk)
           case kBranch: {
             const uint32_t bit = branch_idx++;
             if (bitmap + (bit >> 3) >= bitmap_end)
-                fatal("branch bitmap overrun (corrupt trace)");
+                corrupt("branch bitmap overrun");
             di.taken = (bitmap[bit >> 3] >> (bit & 7)) & 1;
             break;
           }
@@ -410,7 +440,7 @@ TraceReplayer::decodeChunk(const EncodedTrace::Chunk &chunk)
         }
     }
     if (p != end)
-        fatal("chunk payload has trailing bytes (corrupt trace)");
+        corrupt("chunk payload has trailing bytes");
 
     delivered_ = instructions;
     seq_ = seq;
@@ -418,28 +448,38 @@ TraceReplayer::decodeChunk(const EncodedTrace::Chunk &chunk)
     batch_n_ = bn;
 }
 
-uint64_t
+util::StatusOr<uint64_t>
 TraceReplayer::replay()
 {
     if (!trace_)
-        fatal("replay() needs an in-memory trace (use the streaming "
-              "API for file-backed replay)");
+        return util::Status::failedPrecondition(
+            "replay() needs an in-memory trace (use the streaming API "
+            "for file-backed replay)");
     return replayRange(0, trace_->chunks().size());
 }
 
-uint64_t
+util::StatusOr<uint64_t>
 TraceReplayer::replayRange(size_t begin, size_t end)
 {
+    if (!init_status_.ok())
+        return init_status_;
     if (!trace_)
-        fatal("replayRange() needs an in-memory trace");
+        return util::Status::failedPrecondition(
+            "replayRange() needs an in-memory trace");
     const std::vector<EncodedTrace::Chunk> &chunks = trace_->chunks();
     if (begin > end || end > chunks.size())
-        fatal("replay chunk range out of bounds");
+        return util::Status::invalidArgument(
+            "replay chunk range out of bounds");
     if (begin < chunks.size() && !trace_->isKeyframe(begin))
-        fatal("replay range must start at a keyframe chunk");
+        return util::Status::invalidArgument(
+            "replay range must start at a keyframe chunk");
     beginStream(begin < end ? chunks[begin].startSeq : 0);
-    for (size_t i = begin; i < end; i++)
-        decodeChunk(chunks[i]);
+    try {
+        for (size_t i = begin; i < end; i++)
+            decodeChunk(chunks[i]);
+    } catch (const util::StatusError &e) {
+        return e.status();
+    }
     return endStream();
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ir/ir.h"
+#include "util/status.h"
 #include "vm/trace.h"
 
 namespace bioperf::vm {
@@ -100,6 +101,13 @@ class EncodedTrace
          * every keyframeInterval()-th chunk.
          */
         bool keyframe = false;
+        /**
+         * Set by trace salvage when the chunks preceding this one
+         * were lost to corruption. The decoder notifies sinks via
+         * onGap() (pipeline/scoreboard drain) and resumes seq
+         * numbering from startSeq. Always a keyframe.
+         */
+        bool gapBefore = false;
     };
 
     /** Dynamic instructions recorded (run-end markers excluded). */
@@ -248,27 +256,30 @@ class TraceReplayer
     /**
      * Replays the whole trace. @return instructions delivered, which
      * callers should check against trace.instructions() when the
-     * trace came from untrusted storage.
+     * trace came from untrusted storage; kCorruptData when decode
+     * hits malformed bytes (sinks may have seen a prefix).
      */
-    uint64_t replay();
+    util::StatusOr<uint64_t> replay();
 
     /**
      * Replays chunks [begin, end). @a begin must be a keyframe index
      * (delta state is reset, seq resumes from the chunk's startSeq);
      * this is the shard entry point for sampled timing. @return
-     * instructions delivered.
+     * instructions delivered, or the decode/precondition failure.
      */
-    uint64_t replayRange(size_t begin, size_t end);
+    util::StatusOr<uint64_t> replayRange(size_t begin, size_t end);
 
     /**
      * Streaming protocol: beginStream() resets decode state (seq
      * resumes from @a start_seq — pass the chunk's startSeq when
      * entering at a keyframe, 0 from the top), streamChunk() decodes
-     * one chunk into the sinks, endStream() flushes and returns
-     * instructions delivered since beginStream().
+     * one chunk into the sinks (kCorruptData on malformed bytes;
+     * decode state is then undefined until the next beginStream()),
+     * endStream() flushes and returns instructions delivered since
+     * beginStream().
      */
     void beginStream(uint64_t start_seq = 0);
-    void streamChunk(const EncodedTrace::Chunk &chunk);
+    util::Status streamChunk(const EncodedTrace::Chunk &chunk);
     uint64_t endStream();
 
   private:
@@ -296,6 +307,8 @@ class TraceReplayer
     std::vector<DynInstr> batch_;
     std::vector<uint64_t> last_addr_;
     std::vector<uint64_t> last_bits_;
+    /** Set by the two-argument ctor when trace and program disagree. */
+    util::Status init_status_;
     /** Streaming decode state, reset by beginStream(). */
     uint64_t seq_ = 0;
     uint64_t prev_sid_ = 0;
@@ -305,7 +318,9 @@ class TraceReplayer
 
 /**
  * sid -> instruction table for @a prog (nullptr for unused sids).
- * Shared helper for the replayer and trace validation.
+ * Shared helper for the replayer and trace validation. Throws
+ * util::StatusError (kInternal) if the program violates its own
+ * sidLimit() — a builder bug, not an input problem.
  */
 std::vector<const ir::Instr *> buildSidTable(const ir::Program &prog);
 

@@ -64,7 +64,8 @@ TEST(SampledTiming, TracksFullReplayCpiOnSmallWorkloads)
     for (const char *name : { "hmmsearch", "clustalw", "hmmcalibrate" }) {
         SCOPED_TRACE(name);
         const apps::AppInfo &app = *apps::findApp(name);
-        const TraceCache::Ptr trace = TraceCache::record(keyFor(app));
+        const TraceCache::Ptr trace =
+            TraceCache::record(keyFor(app)).value();
 
         const cpu::PlatformConfig platform = cpu::alpha21264();
         const TimingResult full =
@@ -100,7 +101,8 @@ TEST(SampledTiming, TracksFullReplayCpiOnSmallWorkloads)
 TEST(SampledTiming, ShortTraceFallsBackToExhaustiveReplay)
 {
     const apps::AppInfo &app = *apps::findApp("promlk");
-    const TraceCache::Ptr trace = TraceCache::record(keyFor(app));
+    const TraceCache::Ptr trace =
+        TraceCache::record(keyFor(app)).value();
 
     const cpu::PlatformConfig platform = cpu::alpha21264();
     // Library defaults want 1M warm instructions; promlk Small has
@@ -186,21 +188,21 @@ TEST(SampledTiming, KeyframeSuffixReplayIdenticalToSequential)
         vm::TraceReplayer prefix(trace, *run.prog);
         CountSink prefix_count;
         prefix.addSink(&prefix_count);
-        prefix.replayRange(0, k);
+        ASSERT_TRUE(prefix.replayRange(0, k).ok());
 
         // Reference: sequential full replay, hashing the suffix only.
         vm::TraceReplayer sequential(trace, *run.prog);
         SuffixHashSink expect;
         expect.skip = prefix_count.instrs;
         sequential.addSink(&expect);
-        sequential.replay();
+        ASSERT_TRUE(sequential.replay().ok());
 
         // Entry straight at the keyframe, no prefix decoded.
         vm::TraceReplayer suffix(trace, *run.prog);
         SuffixHashSink got;
         suffix.addSink(&got);
         const uint64_t n =
-            suffix.replayRange(k, trace.chunks().size());
+            suffix.replayRange(k, trace.chunks().size()).value();
 
         EXPECT_EQ(n, expect.instrs);
         EXPECT_EQ(got.instrs, expect.instrs);
@@ -254,7 +256,8 @@ TEST(SampledTiming, ShardedResultBitIdenticalToSequential)
 TEST(SampledTiming, SeedChangesPlacementNotValidity)
 {
     const apps::AppInfo &app = *apps::findApp("hmmsearch");
-    const TraceCache::Ptr trace = TraceCache::record(keyFor(app));
+    const TraceCache::Ptr trace =
+        TraceCache::record(keyFor(app)).value();
     const cpu::PlatformConfig platform = cpu::alpha21264();
     const TimingResult full =
         Simulator::timeReplay(*trace, platform);
@@ -278,12 +281,12 @@ TEST(SampledTiming, FileSamplingEqualsInMemorySampling)
 {
     const apps::AppInfo &app = *apps::findApp("hmmcalibrate");
     const TraceKey key = keyFor(app);
-    const TraceCache::Ptr trace = TraceCache::record(key);
+    const TraceCache::Ptr trace = TraceCache::record(key).value();
     const cpu::PlatformConfig platform = cpu::alpha21264();
 
     const std::string path =
         ::testing::TempDir() + "bioperf_sampling_test.bptrace";
-    ASSERT_EQ(saveTraceFile(path, key, *trace), "");
+    ASSERT_TRUE(saveTraceFile(path, key, *trace).ok());
 
     const SamplingOptions opts = smallScaleOptions();
     const SampledTimingResult mem =
@@ -291,7 +294,7 @@ TEST(SampledTiming, FileSamplingEqualsInMemorySampling)
     const SampledFileResult file =
         sampleTimingFile(path, platform, opts);
 
-    EXPECT_EQ(file.error, "");
+    EXPECT_TRUE(file.status.ok()) << file.status.str();
     EXPECT_EQ(file.key.str(), key.str());
     EXPECT_EQ(mem.report().dump(), file.result.report().dump());
 

@@ -95,10 +95,11 @@ TEST(TraceReplay, ReplayedStreamIdenticalToLiveForEveryApp)
         vm::TraceReplayer replayer(trace, *rebuilt.prog);
         StreamHashSink replayed;
         replayer.addSink(&replayed);
-        const uint64_t n = replayer.replay();
+        const util::StatusOr<uint64_t> n = replayer.replay();
 
         EXPECT_GT(live.instrs, 0u);
-        EXPECT_EQ(n, live.instrs);
+        ASSERT_TRUE(n.ok()) << n.status().str();
+        EXPECT_EQ(n.value(), live.instrs);
         EXPECT_EQ(replayed.instrs, live.instrs);
         EXPECT_EQ(replayed.hash, live.hash);
         EXPECT_EQ(replayed.run_end_counts, live.run_end_counts);
@@ -116,8 +117,11 @@ TEST(TraceReplay, CharacterizeFromReplayEqualsLiveExactly)
         const CharacterizationResult live =
             Simulator::characterize(run);
 
-        const TraceCache::Ptr trace = TraceCache::record(keyFor(
-            app, apps::Variant::Baseline, apps::Scale::Small, 42));
+        const TraceCache::Ptr trace =
+            TraceCache::record(
+                keyFor(app, apps::Variant::Baseline, apps::Scale::Small,
+                       42))
+                .value();
         const CharacterizationResult replayed =
             Simulator::characterizeReplay(*trace);
 
@@ -146,7 +150,7 @@ TEST(TraceReplay, TimeFromReplayEqualsLiveExactly)
         key.registerPressure = true;
         key.intRegs = platform.core.numIntRegs;
         key.fpRegs = platform.core.numFpRegs;
-        const TraceCache::Ptr trace = TraceCache::record(key);
+        const TraceCache::Ptr trace = TraceCache::record(key).value();
         const TimingResult replayed =
             Simulator::timeReplay(*trace, platform);
 
@@ -161,8 +165,10 @@ TEST(TraceReplay, TimeFromReplayEqualsLiveExactly)
 TEST(TraceReplay, TimeReplayManyMatchesPerPlatformReplay)
 {
     const apps::AppInfo &app = *apps::findApp("hmmsearch");
-    const TraceCache::Ptr trace = TraceCache::record(keyFor(
-        app, apps::Variant::Baseline, apps::Scale::Small, 42));
+    const TraceCache::Ptr trace =
+        TraceCache::record(keyFor(app, apps::Variant::Baseline,
+                                  apps::Scale::Small, 42))
+            .value();
 
     const std::vector<cpu::PlatformConfig> platforms = {
         cpu::alpha21264(), cpu::pentium4(), cpu::itanium2()
@@ -223,12 +229,12 @@ TEST_F(BptraceFileTest, RoundTripsThroughDisk)
     const apps::AppInfo &app = *apps::findApp("clustalw");
     const TraceKey key = keyFor(app, apps::Variant::Baseline,
                                 apps::Scale::Small, 7);
-    const TraceCache::Ptr recorded = TraceCache::record(key);
+    const TraceCache::Ptr recorded = TraceCache::record(key).value();
     ASSERT_TRUE(recorded->verified);
-    ASSERT_EQ(saveTraceFile(path_, key, *recorded), "");
+    ASSERT_TRUE(saveTraceFile(path_, key, *recorded).ok());
 
     const TraceLoadResult loaded = loadTraceFile(path_);
-    ASSERT_EQ(loaded.error, "");
+    ASSERT_TRUE(loaded.status.ok()) << loaded.status.str();
     ASSERT_NE(loaded.trace, nullptr);
     EXPECT_EQ(loaded.key.str(), key.str());
     EXPECT_TRUE(loaded.trace->verified);
@@ -250,8 +256,8 @@ TEST_F(BptraceFileTest, RejectsTruncationBadMagicAndVersionSkew)
     const apps::AppInfo &app = *apps::findApp("fasta");
     const TraceKey key = keyFor(app, apps::Variant::Baseline,
                                 apps::Scale::Small, 42);
-    const TraceCache::Ptr recorded = TraceCache::record(key);
-    ASSERT_EQ(saveTraceFile(path_, key, *recorded), "");
+    const TraceCache::Ptr recorded = TraceCache::record(key).value();
+    ASSERT_TRUE(saveTraceFile(path_, key, *recorded).ok());
     const std::string good = slurp(path_);
     ASSERT_GT(good.size(), 64u);
 
@@ -263,26 +269,26 @@ TEST_F(BptraceFileTest, RejectsTruncationBadMagicAndVersionSkew)
         spit(path_, good.substr(0, keep));
         const TraceLoadResult r = loadTraceFile(path_);
         EXPECT_EQ(r.trace, nullptr);
-        EXPECT_NE(r.error, "");
+        EXPECT_FALSE(r.status.ok());
     }
 
     // Bad magic.
     std::string bad = good;
     bad[0] = 'X';
     spit(path_, bad);
-    EXPECT_NE(loadTraceFile(path_).error.find("magic"),
+    EXPECT_NE(loadTraceFile(path_).status.message().find("magic"),
               std::string::npos);
 
     // Version skew (version field follows the 8-byte magic).
     bad = good;
     bad[8] = 99;
     spit(path_, bad);
-    EXPECT_NE(loadTraceFile(path_).error.find("version"),
+    EXPECT_NE(loadTraceFile(path_).status.message().find("version"),
               std::string::npos);
 
     // Missing file.
     std::remove(path_.c_str());
-    EXPECT_NE(loadTraceFile(path_).error, "");
+    EXPECT_FALSE(loadTraceFile(path_).status.ok());
 }
 
 TEST(TraceReplay, SweepWithTraceCacheBitIdenticalForAnyThreadCount)

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace bioperf::util {
 namespace {
@@ -187,6 +191,46 @@ TEST(TextTable, DoubleFormatting)
     TextTable t({ "x" });
     t.row().cell(3.14159, 3);
     EXPECT_NE(t.str().find("3.142"), std::string::npos);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesOnGetWithoutWedgingTheQueue)
+{
+    ThreadPool pool(2);
+    std::future<int> boom = pool.submit([]() -> int {
+        throw std::runtime_error("task exploded");
+    });
+
+    // Tasks submitted after (and alongside) the throwing one must
+    // still run to completion: the exception belongs to its future,
+    // not to the worker or the queue.
+    std::atomic<int> completed{ 0 };
+    std::vector<std::future<int>> after;
+    for (int i = 0; i < 8; i++)
+        after.push_back(pool.submit([i, &completed]() {
+            completed.fetch_add(1);
+            return i * i;
+        }));
+
+    EXPECT_THROW(boom.get(), std::runtime_error);
+    for (int i = 0; i < 8; i++)
+        EXPECT_EQ(after[static_cast<size_t>(i)].get(), i * i);
+    EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, EveryTaskThrowingLeavesPoolDestructible)
+{
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 12; i++)
+            futures.push_back(pool.submit(
+                [] { throw std::runtime_error("all fail"); }));
+        for (auto &f : futures)
+            EXPECT_THROW(f.get(), std::runtime_error);
+        // Pool destructor joins workers; a wedged queue would hang
+        // here and trip the test timeout.
+    }
+    SUCCEED();
 }
 
 } // namespace
